@@ -1,0 +1,137 @@
+// Command droneflight runs a single transfer-learning + online-RL flight
+// experiment in one environment and reports the learning curves and safe
+// flight distance.
+//
+// Usage:
+//
+//	droneflight [-env apartment|house|forest|town] [-config L2|L3|L4|E2E]
+//	            [-meta 1000] [-online 800] [-eval 600] [-seed 1] [-map]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dronerl/internal/env"
+	"dronerl/internal/metrics"
+	"dronerl/internal/nn"
+	"dronerl/internal/report"
+	"dronerl/internal/rl"
+	"dronerl/internal/transfer"
+)
+
+func main() {
+	envName := flag.String("env", "apartment", "apartment, house, forest or town")
+	cfgName := flag.String("config", "L3", "L2, L3, L4 or E2E")
+	metaIters := flag.Int("meta", 1000, "meta-environment training iterations")
+	onlineIters := flag.Int("online", 800, "online RL iterations in the test environment")
+	evalSteps := flag.Int("eval", 600, "greedy evaluation steps")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	showMap := flag.Bool("map", false, "print the environment map")
+	saveModel := flag.String("save", "", "write the meta-model snapshot to this file after meta-training")
+	loadModel := flag.String("load", "", "skip meta-training and load a snapshot from this file")
+	flag.Parse()
+
+	world := pickEnv(*envName, *seed)
+	if world == nil {
+		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+	cfg, ok := pickConfig(*cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+	if *showMap {
+		fmt.Println(world.Render(72, 24))
+	}
+
+	spec := nn.NavNetSpec()
+	var snap *nn.Snapshot
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		snap, err = nn.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded meta-model %q from %s\n", snap.Arch, *loadModel)
+	} else {
+		meta := env.MetaFor(world, *seed+1000)
+		fmt.Printf("meta-training E2E on %q for %d iterations...\n", meta.Name, *metaIters)
+		var metaTracker *metrics.FlightTracker
+		snap, metaTracker = transfer.MetaTrain(meta, spec, *metaIters, rl.Options{
+			Seed: *seed, BatchSize: 4, EpsDecaySteps: *metaIters / 2,
+		})
+		fmt.Printf("meta model: cumulative reward %.3f, SFD %.1f m over %d crashes\n",
+			metaTracker.CumulativeReward(), metaTracker.SafeFlightDistance(), metaTracker.Crashes())
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := snap.Encode(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("meta-model written to %s\n", *saveModel)
+	}
+
+	fmt.Printf("deploying to %q under %v (%d/%d trainable weights) and learning online...\n",
+		world.Name, cfg, spec.TrainedWeights(cfg), spec.TotalWeights())
+	res, err := transfer.RunOnline(snap, world, spec, cfg, *onlineIters, *evalSteps, rl.Options{
+		Seed: *seed + 1, BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: *onlineIters / 2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := report.New("online learning ("+world.Name+", "+cfg.String()+")", "metric", "value")
+	t.Add("cumulative reward", report.Num(res.Training.CumulativeReward()))
+	t.Add("reward curve", report.Sparkline(res.Training.RewardSeries(), 48))
+	t.Add("return", report.Num(res.Training.Return()))
+	t.Add("return curve", report.Sparkline(res.Training.ReturnSeries(), 48))
+	t.Add("training crashes", fmt.Sprint(res.Training.Crashes()))
+	t.Add("eval SFD (m)", report.Num(res.Eval.SafeFlightDistance()))
+	t.Add("eval crashes", fmt.Sprint(res.Eval.Crashes()))
+	fmt.Println(t.String())
+}
+
+func pickEnv(name string, seed int64) *env.World {
+	switch strings.ToLower(name) {
+	case "apartment":
+		return env.IndoorApartment(seed + 1)
+	case "house":
+		return env.IndoorHouse(seed + 2)
+	case "forest":
+		return env.OutdoorForest(seed + 3)
+	case "town":
+		return env.OutdoorTown(seed + 4)
+	}
+	return nil
+}
+
+func pickConfig(name string) (nn.Config, bool) {
+	switch strings.ToUpper(name) {
+	case "L2":
+		return nn.L2, true
+	case "L3":
+		return nn.L3, true
+	case "L4":
+		return nn.L4, true
+	case "E2E":
+		return nn.E2E, true
+	}
+	return 0, false
+}

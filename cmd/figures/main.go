@@ -1,0 +1,252 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	figures [-artifact all|fig1|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|table1] [-scale quick|full]
+//
+// Hardware-side artifacts are analytical and instant; fig9/fig10/fig11
+// run the flight simulator (seconds at -scale quick, ~2 minutes at full).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dronerl/internal/core"
+	"dronerl/internal/env"
+	"dronerl/internal/mem"
+	"dronerl/internal/nn"
+	"dronerl/internal/report"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "which artifact to regenerate")
+	scaleFlag := flag.String("scale", "quick", "flight experiment scale: quick or full")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs for the hardware artifacts into this directory")
+	flag.Parse()
+
+	scale := core.QuickScale()
+	if *scaleFlag == "full" {
+		scale = core.FullScale()
+	}
+
+	needsFlight := map[string]bool{"all": true, "fig10": true, "fig11": true}
+	var flight *core.FlightReport
+	if needsFlight[*artifact] {
+		fmt.Fprintf(os.Stderr, "running flight experiment (%d meta + 4x4x%d online iterations)...\n",
+			scale.MetaIters, scale.OnlineIters)
+		var err error
+		flight, err = core.RunFlightExperiment(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight experiment failed:", err)
+			os.Exit(1)
+		}
+	}
+	hwrep := core.RunHardwareExperiment()
+
+	show := func(name string) bool { return *artifact == "all" || *artifact == name }
+
+	if show("fig1") {
+		fmt.Println(hwrep.MinFPSTable())
+	}
+	if show("fig3") {
+		printFig3()
+	}
+	if show("fig4") {
+		printFig4(hwrep)
+	}
+	if show("table1") {
+		printTable1()
+	}
+	if show("fig5") {
+		fmt.Println(hwrep.MemoryPlanTable(nn.L3))
+	}
+	if show("fig9") {
+		printFig9(scale.Seed)
+	}
+	if show("fig10") {
+		printFig10(flight)
+	}
+	if show("fig11") {
+		printFig11(flight)
+	}
+	if show("fig12") {
+		fmt.Println(hwrep.ForwardTable())
+		fmt.Println(hwrep.BackwardTable())
+	}
+	if show("fig13") {
+		fmt.Println(hwrep.FPSTable())
+		fmt.Println(hwrep.SummaryTable())
+	}
+	if *csvDir != "" {
+		if flight != nil {
+			writeFlightCSVs(*csvDir, flight)
+		}
+		if err := writeCSVs(*csvDir, hwrep); err != nil {
+			fmt.Fprintln(os.Stderr, "writing CSVs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSV artifacts written to %s\n", *csvDir)
+	}
+}
+
+// writeCSVs dumps the hardware tables as CSV files for plotting tools.
+func writeCSVs(dir string, hwrep *core.HardwareReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"fig1_minfps.csv":     hwrep.BuildMinFPSTable().CSV(),
+		"fig12a_forward.csv":  hwrep.BuildForwardTable().CSV(),
+		"fig12b_backward.csv": hwrep.BuildBackwardTable().CSV(),
+		"fig13a_fps.csv":      hwrep.BuildFPSTable().CSV(),
+		"fig13b_summary.csv":  hwrep.BuildSummaryTable().CSV(),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFlightCSVs dumps the Fig. 10 learning curves and the Fig. 11 rows.
+func writeFlightCSVs(dir string, flight *core.FlightReport) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	curves := report.New("", "env", "config", "point", "cumulative_reward", "return")
+	fig11 := report.New("", "env", "config", "sfd_m", "normalized_sfd", "crashes")
+	for _, er := range flight.Envs {
+		for _, run := range er.Runs {
+			for i := range run.RewardSeries {
+				ret := 0.0
+				if i < len(run.ReturnSeries) {
+					ret = run.ReturnSeries[i]
+				}
+				curves.Addf(er.Env, run.Config.String(), i, run.RewardSeries[i], ret)
+			}
+			fig11.Addf(er.Env, run.Config.String(), run.SFD, run.NormalizedSFD, run.Crashes)
+		}
+	}
+	for name, content := range map[string]string{
+		"fig10_curves.csv": curves.CSV(),
+		"fig11_sfd.csv":    fig11.CSV(),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
+func printFig3() {
+	spec := nn.ModifiedAlexNetSpec()
+	t := report.New("Fig. 3(a) — modified AlexNet weight census",
+		"Layer", "#neurons", "#weights", "% total", "% cumulative")
+	for _, r := range spec.WeightCensus() {
+		if r.Layer == "output" {
+			t.Addf(r.Layer, r.Neurons, "", "", "")
+			continue
+		}
+		t.Addf(r.Layer, r.Neurons, r.Weights, r.PctTotal, r.PctCumulative)
+	}
+	t.Addf("sum", spec.NeuronSum(), spec.FCWeights(), "", "")
+	fmt.Println(t.String())
+
+	t2 := report.New("Fig. 3(b) — online-trained weight fraction per topology",
+		"Config", "Trained FC layers", "Trained weights", "% of total")
+	for _, cfg := range nn.Configs {
+		k := cfg.TrainedFCLayers()
+		kd := fmt.Sprint(k)
+		if k < 0 {
+			kd = "all layers"
+		}
+		t2.Addf(cfg.String(), kd, spec.TrainedWeights(cfg), 100*spec.TrainedFraction(cfg))
+	}
+	fmt.Println(t2.String())
+}
+
+func printFig4(hwrep *core.HardwareReport) {
+	p := hwrep.Params
+	t := report.New("Fig. 4(b) — system parameters", "Parameter", "Value")
+	t.Add("Technology", p.Technology)
+	t.Add("Number of PEs", fmt.Sprintf("%d (%d row, %d column)", p.PEs, p.ArrayRows, p.ArrayCols))
+	t.Add("Global buffer/scratchpad", fmt.Sprintf("%.0fMB/%.1fMB", p.GlobalBufferMB, p.ScratchpadMB))
+	t.Add("Register file per PE", fmt.Sprintf("%.1fKB", p.RFPerPEKB))
+	t.Add("Operation voltage", fmt.Sprintf("%.1fV", p.VoltageV))
+	t.Add("Clock speed", fmt.Sprintf("%.0fGhz", p.ClockGHz))
+	t.Add("Peak throughput", fmt.Sprintf("%.1fTOPS/W", p.PeakTOPSperW))
+	t.Add("Arithmetic precision", p.Precision)
+	t.Add("Bandwidth between PEs", fmt.Sprintf("%d bit", p.PEBandwidthBit))
+	t.Add("MRAM stack I/O", fmt.Sprintf("%d IOs x %.0f Gbit/s", p.HBMIOs, p.HBMGbpsPerIO))
+	fmt.Println(t.String())
+}
+
+func printTable1() {
+	d := mem.STTMRAM()
+	t := report.New("Table 1 — STT-MRAM parameters", "Write latency", "Read latency", "Write energy", "Read energy")
+	t.Add(fmt.Sprintf("%.0fns", d.WriteLatencyNS), fmt.Sprintf("%.0fns", d.ReadLatencyNS),
+		fmt.Sprintf("%.1fpJ/bit", d.WriteEnergyPJPerBit), fmt.Sprintf("%.1fpJ/bit", d.ReadEnergyPJPerBit))
+	fmt.Println(t.String())
+}
+
+func printFig9(seed int64) {
+	fmt.Println("Fig. 9 — test environments (top-down maps)")
+	for _, w := range env.TestEnvironments(seed) {
+		fmt.Println(w.Render(72, 24))
+	}
+}
+
+func printFig10(flight *core.FlightReport) {
+	fmt.Println("Fig. 10 — cumulative reward and return during online RL")
+	for _, er := range flight.Envs {
+		fmt.Printf("\n(%s)\n", er.Env)
+		t := report.New("", "Config", "cumulative reward (start->end)", "final", "return curve", "final")
+		for _, run := range er.Runs {
+			t.Add(run.Config.String(),
+				report.Sparkline(run.RewardSeries, 40),
+				report.Num(last(run.RewardSeries)),
+				report.Sparkline(run.ReturnSeries, 40),
+				report.Num(last(run.ReturnSeries)))
+		}
+		fmt.Println(t.String())
+	}
+}
+
+func printFig11(flight *core.FlightReport) {
+	t := report.New("Fig. 11 — normalized safe flight distance (vs E2E)",
+		"Environment", "L2", "L3", "L4", "E2E", "worst Li degradation %")
+	for _, er := range flight.Envs {
+		cells := []interface{}{er.Env}
+		for _, cfg := range []nn.Config{nn.L2, nn.L3, nn.L4, nn.E2E} {
+			run, _ := er.Run(cfg)
+			cells = append(cells, run.NormalizedSFD)
+		}
+		cells = append(cells, er.WorstLiDegradationPct)
+		t.Addf(cells...)
+	}
+	fmt.Println(t.String())
+
+	t2 := report.New("raw safe flight distance (m) and total eval crashes",
+		"Environment", "L2 m", "(crash)", "L3 m", "(crash)", "L4 m", "(crash)", "E2E m", "(crash)")
+	for _, er := range flight.Envs {
+		cells := []interface{}{er.Env}
+		for _, cfg := range []nn.Config{nn.L2, nn.L3, nn.L4, nn.E2E} {
+			run, _ := er.Run(cfg)
+			cells = append(cells, run.SFD, run.Crashes)
+		}
+		t2.Addf(cells...)
+	}
+	fmt.Println(t2.String())
+}
+
+func last(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}

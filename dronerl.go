@@ -1,0 +1,98 @@
+// Package dronerl reproduces "Transfer and Online Reinforcement Learning in
+// STT-MRAM Based Embedded Systems for Autonomous Drones" (Yoon, Anwar,
+// Rakshit, Raychowdhury — DATE 2019).
+//
+// The library has two coupled halves:
+//
+//   - The algorithm: a CNN Q-learning agent for camera-based drone
+//     navigation, trained by transfer learning on meta-environments and
+//     online RL over only the last few fully-connected layers
+//     (internal/nn, internal/rl, internal/env, internal/transfer).
+//   - The hardware: a 32x32 systolic PE array with an on-die SRAM buffer
+//     and a 3D-stacked STT-MRAM holding the frozen weights, priced by an
+//     analytical latency/energy model (internal/systolic, internal/mem,
+//     internal/hw).
+//
+// This root package is a thin facade over internal/core: it exposes the
+// experiment drivers that regenerate every table and figure of the paper's
+// evaluation. See README.md for a tour and EXPERIMENTS.md for the
+// paper-vs-model comparison.
+package dronerl
+
+import (
+	"dronerl/internal/core"
+	"dronerl/internal/env"
+	"dronerl/internal/hw"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+	"dronerl/internal/transfer"
+)
+
+// Training topologies (re-exported from internal/nn): E2E trains the whole
+// network; L2/L3/L4 train the last 2/3/4 FC layers on a transferred model.
+const (
+	E2E = nn.E2E
+	L2  = nn.L2
+	L3  = nn.L3
+	L4  = nn.L4
+)
+
+// Config selects a training topology.
+type Config = nn.Config
+
+// FlightScale sets the iteration budget of a flight-learning experiment.
+type FlightScale = core.FlightScale
+
+// FlightReport is the Fig. 10/11 reproduction output.
+type FlightReport = core.FlightReport
+
+// HardwareReport bundles the Fig. 1/4/5/12/13 artifacts.
+type HardwareReport = core.HardwareReport
+
+// FullScale returns the figure-quality iteration budget.
+func FullScale() FlightScale { return core.FullScale() }
+
+// QuickScale returns a CI-sized iteration budget.
+func QuickScale() FlightScale { return core.QuickScale() }
+
+// RunFlightExperiment reproduces the learning-quality evaluation
+// (Fig. 10 cumulative reward / return curves, Fig. 11 safe flight
+// distance) across the four test environments and four topologies.
+func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
+	return core.RunFlightExperiment(scale)
+}
+
+// RunHardwareExperiment evaluates the hardware performance model,
+// regenerating the per-layer cost tables (Fig. 12), the FPS and summary
+// charts (Fig. 13), the minimum-FPS table (Fig. 1) and the memory mapping
+// (Fig. 5).
+func RunHardwareExperiment() *HardwareReport {
+	return core.RunHardwareExperiment()
+}
+
+// NewHardwareModel returns the analytical model of the paper's platform
+// for custom studies (sweeps over batch size, SRAM capacity, devices).
+func NewHardwareModel() *hw.Model { return hw.NewModel() }
+
+// NewAgent builds a Q-learning agent over the scaled NavNet architecture,
+// ready to fly in any environment from TestEnvironments.
+func NewAgent(cfg Config, opts rl.Options) *rl.Agent {
+	return rl.NewAgent(nn.NavNetSpec(), cfg, opts)
+}
+
+// TestEnvironments returns the four test worlds (indoor apartment, indoor
+// house, outdoor forest, outdoor town).
+func TestEnvironments(seed int64) []*env.World { return env.TestEnvironments(seed) }
+
+// MetaTrain trains an end-to-end model on the meta-environment matching
+// the given world's kind and returns the transferable snapshot.
+func MetaTrain(test *env.World, iterations int, opts rl.Options) *nn.Snapshot {
+	meta := env.MetaFor(test, opts.Seed+1000)
+	snap, _ := transfer.MetaTrain(meta, nn.NavNetSpec(), iterations, opts)
+	return snap
+}
+
+// Deploy installs a transferred snapshot into a new agent frozen per cfg.
+func Deploy(snapshot *nn.Snapshot, cfg Config, opts rl.Options) (*rl.Agent, error) {
+	return transfer.Deploy(snapshot, nn.NavNetSpec(), cfg, opts)
+}

@@ -1,0 +1,48 @@
+package dronerl
+
+import (
+	"testing"
+
+	"dronerl/internal/rl"
+)
+
+func TestFacadeHardware(t *testing.T) {
+	rep := RunHardwareExperiment()
+	if rep == nil || len(rep.Forward) != 10 {
+		t.Fatal("hardware experiment incomplete")
+	}
+	m := NewHardwareModel()
+	lat, en := m.Reductions(L4)
+	if lat <= 0 || en <= 0 {
+		t.Error("L4 must reduce latency and energy vs E2E")
+	}
+}
+
+func TestFacadeAgentAndEnvs(t *testing.T) {
+	envs := TestEnvironments(1)
+	if len(envs) != 4 {
+		t.Fatalf("%d environments", len(envs))
+	}
+	a := NewAgent(L3, rl.Options{Seed: 5})
+	if a == nil || a.Net == nil {
+		t.Fatal("agent not built")
+	}
+}
+
+func TestFacadeTransferRoundTrip(t *testing.T) {
+	envs := TestEnvironments(2)
+	snap := MetaTrain(envs[0], 40, rl.Options{Seed: 7, BatchSize: 2, EpsDecaySteps: 20})
+	agent, err := Deploy(snap, L2, rl.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agent.Net.TrainableWeightCount() >= agent.Net.WeightCount() {
+		t.Error("L2 deployment must freeze most of the network")
+	}
+}
+
+func TestScales(t *testing.T) {
+	if FullScale().MetaIters <= QuickScale().MetaIters {
+		t.Error("full scale must exceed quick scale")
+	}
+}

@@ -1,0 +1,61 @@
+// Indoor navigation: compares all four training topologies (L2, L3, L4,
+// E2E) in the indoor apartment — the paper's tightest environment
+// (d_min = 0.7 m) — starting from one shared indoor meta-model. This is a
+// single-environment slice of Fig. 10/11.
+//
+//	go run ./examples/indoor_navigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/report"
+	"dronerl/internal/rl"
+	"dronerl/internal/transfer"
+)
+
+func main() {
+	const seed = 11
+	spec := nn.NavNetSpec()
+	meta := env.IndoorMeta(seed)
+	fmt.Println("meta-training E2E on the indoor meta-environment (1200 iterations)...")
+	snap, _ := transfer.MetaTrain(meta, spec, 1200, rl.Options{
+		Seed: seed, BatchSize: 4, EpsDecaySteps: 600,
+	})
+
+	const evalSteps = 600
+	t := report.New("indoor apartment: topology comparison",
+		"Config", "trainable weights", "reward curve", "eval SFD m", "eval crashes")
+	var e2eSFD float64
+	sfds := make(map[nn.Config]float64)
+	for _, cfg := range nn.Configs {
+		world := env.IndoorApartment(seed + 1) // same layout for every run
+		res, err := transfer.RunOnline(snap, world, spec, cfg, 800, evalSteps, rl.Options{
+			Seed: seed + 2 + int64(cfg), BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: 400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Smoothed distance-per-crash over the fixed evaluation flight
+		// (robust when a run finishes crash-free).
+		sfd := float64(evalSteps) * world.DFrame / float64(res.Eval.Crashes()+1)
+		sfds[cfg] = sfd
+		if cfg == nn.E2E {
+			e2eSFD = sfd
+		}
+		t.Addf(cfg.String(), spec.TrainedWeights(cfg),
+			report.Sparkline(res.Training.RewardSeries(), 36),
+			sfd, res.Eval.Crashes())
+	}
+	fmt.Println(t.String())
+
+	if e2eSFD > 0 {
+		fmt.Println("normalized SFD vs E2E (Fig. 11 view):")
+		for _, cfg := range []nn.Config{nn.L2, nn.L3, nn.L4} {
+			fmt.Printf("  %-3s %.3f\n", cfg, sfds[cfg]/e2eSFD)
+		}
+	}
+}

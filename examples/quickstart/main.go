@@ -1,0 +1,55 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// It prices the hardware (one table), meta-trains a small model, transfers
+// it to a test environment with only the last three FC layers trainable
+// (the paper's L3 topology), and reports how far the drone flies between
+// crashes before and after online learning.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dronerl"
+	"dronerl/internal/metrics"
+	"dronerl/internal/rl"
+)
+
+func main() {
+	// 1. Hardware: why online learning must avoid NVM writes.
+	m := dronerl.NewHardwareModel()
+	lat, en := m.Reductions(dronerl.L4)
+	fmt.Printf("hardware model: training the last 4 FC layers instead of the whole net\n")
+	fmt.Printf("  cuts per-iteration latency by %.1f%% and energy by %.1f%% (paper: 79.4%%/83.45%%)\n\n", lat, en)
+
+	// 2. Algorithm: transfer learning then online RL on the last layers.
+	world := dronerl.TestEnvironments(7)[0] // indoor apartment
+	fmt.Printf("meta-training on the %s meta-environment...\n", world.Kind)
+	snap := dronerl.MetaTrain(world, 800, rl.Options{Seed: 7, BatchSize: 4, EpsDecaySteps: 400})
+
+	agent, err := dronerl.Deploy(snap, dronerl.L3, rl.Options{Seed: 8, BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed to %q: %d of %d weights trainable (L3)\n",
+		world.Name, agent.Net.TrainableWeightCount(), agent.Net.WeightCount())
+
+	trainer := rl.NewTrainer(world, agent, 600)
+	before := trainer.Evaluate(400)
+	trainer.Run(600)
+	after := trainer.Evaluate(400)
+
+	fmt.Printf("\nsafe flight distance before online RL: %s\n", sfd(before, world.DFrame, 400))
+	fmt.Printf("safe flight distance after  online RL: %s\n", sfd(after, world.DFrame, 400))
+}
+
+// sfd renders a safe-flight-distance result, crediting the full flown
+// distance when the whole evaluation passed without a crash.
+func sfd(t *metrics.FlightTracker, dframe float64, steps int) string {
+	if t.Crashes() == 0 {
+		return fmt.Sprintf(">%.1f m (no crashes in %d steps)", float64(steps)*dframe, steps)
+	}
+	return fmt.Sprintf("%.1f m (%d crashes)", t.SafeFlightDistance(), t.Crashes())
+}

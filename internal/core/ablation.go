@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+	"dronerl/internal/transfer"
+)
+
+// Ablations of the design choices DESIGN.md calls out.
+
+// RicherMetaResult compares the outdoor-town transfer gap under the
+// standard cylinder-dominated outdoor meta-environment against the richer
+// one that also contains town-like boxes — the improvement the paper
+// proposes for its worst-case environment ("this can be further improved
+// by performing TL on richer meta-environments").
+type RicherMetaResult struct {
+	// TownSFDStandard / TownSFDRich are L3 safe flight distances in the
+	// town after transfer from each meta-environment.
+	TownSFDStandard, TownSFDRich float64
+	// ImprovementPct is the relative SFD gain from the richer meta.
+	ImprovementPct float64
+}
+
+// RunRicherMetaAblation trains two meta-models (standard and rich), then
+// deploys both to the outdoor town under L3 — the topology whose frozen
+// conv features carry the transfer — and compares evaluated SFD averaged
+// over seedRepeats agents.
+func RunRicherMetaAblation(scale FlightScale) (RicherMetaResult, error) {
+	spec := nn.NavNetSpec()
+	metas := map[string]*env.World{
+		"standard": env.OutdoorMeta(scale.Seed + 200),
+		"rich":     env.OutdoorMetaRich(scale.Seed + 200),
+	}
+	snaps := map[string]*nn.Snapshot{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for name, meta := range metas {
+		wg.Add(1)
+		go func(name string, meta *env.World) {
+			defer wg.Done()
+			snap, _ := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
+				Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
+			})
+			mu.Lock()
+			snaps[name] = snap
+			mu.Unlock()
+		}(name, meta)
+	}
+	wg.Wait()
+
+	sfds := map[string]float64{}
+	var firstErr error
+	for name := range metas {
+		var total float64
+		var twg sync.WaitGroup
+		results := make([]float64, seedRepeats)
+		errs := make([]error, seedRepeats)
+		for r := 0; r < seedRepeats; r++ {
+			twg.Add(1)
+			go func(name string, r int) {
+				defer twg.Done()
+				town := env.OutdoorTown(scale.Seed + 4)
+				agent, err := transfer.Deploy(snaps[name], spec, nn.L3, rl.Options{
+					Seed: scale.Seed + 50 + int64(r), BatchSize: 4,
+					EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
+				})
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				trainer := rl.NewTrainer(town, agent, scale.OnlineIters)
+				trainer.Run(scale.OnlineIters)
+				sfd, _ := evaluateSFD(town, agent, scale, 400+r)
+				results[r] = sfd
+			}(name, r)
+		}
+		twg.Wait()
+		for r := 0; r < seedRepeats; r++ {
+			if errs[r] != nil && firstErr == nil {
+				firstErr = errs[r]
+			}
+			total += results[r]
+		}
+		sfds[name] = total / seedRepeats
+	}
+	if firstErr != nil {
+		return RicherMetaResult{}, firstErr
+	}
+	res := RicherMetaResult{
+		TownSFDStandard: sfds["standard"],
+		TownSFDRich:     sfds["rich"],
+	}
+	if res.TownSFDStandard > 0 {
+		res.ImprovementPct = 100 * (res.TownSFDRich/res.TownSFDStandard - 1)
+	}
+	return res, nil
+}
+
+// StereoAblationResult compares learning with ideal depth against the
+// quantized/noisy stereo model, isolating the cost of the paper's
+// disparity-based sensing.
+type StereoAblationResult struct {
+	SFDIdeal, SFDStereo float64
+}
+
+// RunStereoAblation meta-trains and flies the indoor apartment twice: once
+// with the stereo noise model, once with ideal ray-cast depth.
+func RunStereoAblation(scale FlightScale) (StereoAblationResult, error) {
+	spec := nn.NavNetSpec()
+	var res StereoAblationResult
+	for _, ideal := range []bool{true, false} {
+		meta := env.IndoorMeta(scale.Seed + 100)
+		if ideal {
+			meta.Stereo = nil
+		}
+		snap, _ := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
+			Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
+		})
+		world := env.IndoorApartment(scale.Seed + 1)
+		if ideal {
+			world.Stereo = nil
+		}
+		agent, err := transfer.Deploy(snap, spec, nn.L3, rl.Options{
+			Seed: scale.Seed + 2, BatchSize: 4,
+			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
+		})
+		if err != nil {
+			return res, err
+		}
+		trainer := rl.NewTrainer(world, agent, scale.OnlineIters)
+		trainer.Run(scale.OnlineIters)
+		sfd, _ := evaluateSFD(world, agent, scale, 500)
+		if ideal {
+			res.SFDIdeal = sfd
+		} else {
+			res.SFDStereo = sfd
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestRicherMetaAblationRuns(t *testing.T) {
+	scale := FlightScale{MetaIters: 120, OnlineIters: 100, EvalSteps: 120, Seed: 5}
+	res, err := RunRicherMetaAblation(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TownSFDStandard <= 0 || res.TownSFDRich <= 0 {
+		t.Errorf("ablation produced non-positive SFDs: %+v", res)
+	}
+}
+
+func TestStereoAblationRuns(t *testing.T) {
+	scale := FlightScale{MetaIters: 120, OnlineIters: 100, EvalSteps: 120, Seed: 6}
+	res, err := RunStereoAblation(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SFDIdeal <= 0 || res.SFDStereo <= 0 {
+		t.Errorf("ablation produced non-positive SFDs: %+v", res)
+	}
+}

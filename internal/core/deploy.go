@@ -1,0 +1,28 @@
+package core
+
+import (
+	"dronerl/internal/env"
+	"dronerl/internal/metrics"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+	"dronerl/internal/transfer"
+)
+
+// Small shared helpers for the mission and ablation drivers.
+
+// metaTrainQuick trains a compact meta-model for drivers that need a
+// reasonable (not figure-grade) transferred policy.
+func metaTrainQuick(meta *env.World, spec nn.ArchSpec, seed int64) (*nn.Snapshot, *metrics.FlightTracker) {
+	return transfer.MetaTrain(meta, spec, 800, rl.Options{
+		Seed: seed, BatchSize: 4, EpsDecaySteps: 400,
+	})
+}
+
+// deploySnapshot installs a snapshot under the given topology with the
+// standard online-deployment options.
+func deploySnapshot(snap *nn.Snapshot, spec nn.ArchSpec, cfg nn.Config, seed int64) (*rl.Agent, error) {
+	return transfer.Deploy(snap, spec, cfg, rl.Options{
+		Seed: seed + 2 + int64(cfg), BatchSize: 4,
+		EpsStart: 0.3, EpsDecaySteps: 500, LR: 0.001,
+	})
+}

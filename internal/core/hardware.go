@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+
+	"dronerl/internal/env"
+	"dronerl/internal/hw"
+	"dronerl/internal/nn"
+	"dronerl/internal/report"
+)
+
+// HardwareReport bundles every hardware-side artifact of the evaluation.
+type HardwareReport struct {
+	Model    *hw.Model
+	Forward  []hw.LayerCost // Fig. 12(a)
+	Backward []hw.LayerCost // Fig. 12(b), E2E
+	FPS      []hw.FPSPoint  // Fig. 13(a)
+	Summary  []hw.Summary   // Fig. 13(b)
+	MinFPS   []hw.MinFPSRow // Fig. 1(b,c)
+	Plans    map[nn.Config]hw.MemoryPlan
+	Params   hw.SystemParams
+}
+
+// RunHardwareExperiment evaluates the full hardware model.
+func RunHardwareExperiment() *HardwareReport {
+	m := hw.NewModel()
+	rep := &HardwareReport{
+		Model:    m,
+		Forward:  m.ForwardTable(),
+		Backward: m.BackwardTable(nn.E2E),
+		FPS:      m.FPSTable(),
+		Summary:  m.SummaryTable(),
+		MinFPS:   hw.MinFPSTable(env.Fig1DMin),
+		Plans:    map[nn.Config]hw.MemoryPlan{},
+		Params:   m.Params(),
+	}
+	for _, cfg := range nn.Configs {
+		rep.Plans[cfg] = m.PlanMemory(cfg)
+	}
+	return rep
+}
+
+// BuildForwardTable assembles the Fig. 12(a) reproduction beside the
+// paper's published values.
+func (r *HardwareReport) BuildForwardTable() *report.Table {
+	t := report.New("Fig. 12(a) — forward propagation (model vs paper)",
+		"Layer", "Latency ms", "paper", "Active PE", "paper", "Power mW", "paper", "Energy mJ", "paper")
+	for i, row := range r.Forward {
+		p := hw.PaperForwardTable[i]
+		t.Addf(row.Layer, row.LatencyMS, p.LatencyMS, row.ActivePEs, p.ActivePEs,
+			row.PowerMW, p.PowerMW, row.EnergyMJ, p.EnergyMJ)
+	}
+	tot := hw.TableTotals(r.Forward)
+	pt := hw.PaperForwardTotal
+	t.Addf("total", tot.LatencyMS, pt.LatencyMS, tot.ActivePEs, pt.ActivePEs,
+		tot.PowerMW, pt.PowerMW, tot.EnergyMJ, pt.EnergyMJ)
+	return t
+}
+
+// ForwardTable renders Fig. 12(a) as text.
+func (r *HardwareReport) ForwardTable() string { return r.BuildForwardTable().String() }
+
+// BuildBackwardTable assembles the Fig. 12(b) reproduction beside the
+// paper's published values, including the NVM-write flag column.
+func (r *HardwareReport) BuildBackwardTable() *report.Table {
+	t := report.New("Fig. 12(b) — backward propagation, E2E baseline (model vs paper)",
+		"Layer", "Latency ms", "paper", "Active PE", "paper", "Energy mJ", "paper", "NVM write")
+	for i, row := range r.Backward {
+		p := hw.PaperBackwardTable[i]
+		t.Addf(row.Layer, row.LatencyMS, p.LatencyMS, row.ActivePEs, p.ActivePEs,
+			row.EnergyMJ, p.EnergyMJ, row.NVMWrite)
+	}
+	tot := hw.TableTotals(r.Backward)
+	pt := hw.PaperBackwardTotal
+	t.Addf("total", tot.LatencyMS, pt.LatencyMS, tot.ActivePEs, pt.ActivePEs,
+		tot.EnergyMJ, pt.EnergyMJ, tot.NVMWrite)
+	return t
+}
+
+// BackwardTable renders Fig. 12(b) as text.
+func (r *HardwareReport) BackwardTable() string { return r.BuildBackwardTable().String() }
+
+// BuildFPSTable assembles the Fig. 13(a) reproduction.
+func (r *HardwareReport) BuildFPSTable() *report.Table {
+	t := report.New("Fig. 13(a) — sustainable frame rate by topology and batch size",
+		"Config", "batch=4", "batch=8", "batch=16")
+	byCfg := map[nn.Config][]float64{}
+	for _, p := range r.FPS {
+		byCfg[p.Config] = append(byCfg[p.Config], p.FPS)
+	}
+	for _, cfg := range nn.Configs {
+		v := byCfg[cfg]
+		t.Addf(cfg.String(), v[0], v[1], v[2])
+	}
+	return t
+}
+
+// FPSTable renders Fig. 13(a) as text.
+func (r *HardwareReport) FPSTable() string { return r.BuildFPSTable().String() }
+
+// BuildSummaryTable assembles the Fig. 13(b) reproduction with the
+// headline reductions.
+func (r *HardwareReport) BuildSummaryTable() *report.Table {
+	t := report.New("Fig. 13(b) — per-iteration latency and energy (fwd+bwd of one image)",
+		"Config", "Latency ms", "Energy mJ", "Latency cut %", "Energy cut %")
+	for _, s := range r.Summary {
+		lat, en := r.Model.Reductions(s.Config)
+		t.Addf(s.Config.String(), s.LatencyMS, s.EnergyMJ, lat, en)
+	}
+	return t
+}
+
+// SummaryTable renders Fig. 13(b) as text.
+func (r *HardwareReport) SummaryTable() string { return r.BuildSummaryTable().String() }
+
+// BuildMinFPSTable assembles the Fig. 1 reproduction.
+func (r *HardwareReport) BuildMinFPSTable() *report.Table {
+	t := report.New("Fig. 1(b,c) — minimum FPS for obstacle avoidance (fps = v / d_min)",
+		"Environment", "d_min m", "v=2.5", "v=5", "v=7.5", "v=10")
+	byEnv := map[string][]float64{}
+	var order []string
+	dmin := map[string]float64{}
+	for _, row := range r.MinFPS {
+		if _, ok := byEnv[row.Env]; !ok {
+			order = append(order, row.Env)
+		}
+		byEnv[row.Env] = append(byEnv[row.Env], row.MinFPS)
+		dmin[row.Env] = row.DMin
+	}
+	for _, e := range order {
+		v := byEnv[e]
+		t.Addf(e, dmin[e], v[0], v[1], v[2], v[3])
+	}
+	return t
+}
+
+// MinFPSTable renders Fig. 1 as text.
+func (r *HardwareReport) MinFPSTable() string { return r.BuildMinFPSTable().String() }
+
+// MemoryPlanTable renders the Fig. 5 reproduction for one topology.
+func (r *HardwareReport) MemoryPlanTable(cfg nn.Config) string {
+	p := r.Plans[cfg]
+	t := report.New("Fig. 5 — weight mapping, config "+cfg.String(),
+		"Layer", "Store", "Weights MB", "Trained")
+	for _, e := range p.Entries {
+		t.Addf(e.Layer, e.Store, e.WeightMB, e.Trained)
+	}
+	t2 := report.New("", "SRAM weights MB", "SRAM gradients MB", "scratch MB", "SRAM total MB", "MRAM total MB", "fits 30MB")
+	t2.Addf(p.SRAMWeightsMB, p.SRAMGradientsMB, p.SRAMScratchMB, p.SRAMTotalMB, p.MRAMTotalMB, p.FitsSRAM)
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString(t2.String())
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"dronerl/internal/env"
+	"dronerl/internal/hw"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+// Mission co-simulates the two halves of the paper: every camera frame the
+// drone flies in the simulated world *and* pays the hardware model's
+// latency and energy for inference, training and weight updates. The
+// output is the mission-level quantity a drone designer cares about — how
+// far the vehicle gets on a compute-energy budget — which is where the
+// STT-MRAM write asymmetry finally lands.
+
+// MissionConfig parameterizes a co-design mission.
+type MissionConfig struct {
+	// Config is the training topology flown.
+	Config nn.Config
+	// Batch is the training batch size (paper sweeps 4/8/16).
+	Batch int
+	// ComputeBudgetJ is the battery energy allocated to the embedded
+	// computer, in joules.
+	ComputeBudgetJ float64
+	// MaxFrames bounds the simulation.
+	MaxFrames int
+	// Online enables learning during the mission (otherwise the drone
+	// only infers, paying only the inference costs).
+	Online bool
+}
+
+// MissionResult is the outcome of a co-design mission.
+type MissionResult struct {
+	Config nn.Config
+	// Frames processed before the budget ran out (or MaxFrames).
+	Frames int
+	// DistanceM is the total distance flown.
+	DistanceM float64
+	// Crashes during the mission.
+	Crashes int
+	// EnergySpentJ is the compute energy consumed.
+	EnergySpentJ float64
+	// WallClockS is the mission duration implied by the sustainable
+	// frame rate of the topology.
+	WallClockS float64
+	// FPS is the hardware-sustainable frame rate used.
+	FPS float64
+}
+
+// String renders a one-line mission summary.
+func (r MissionResult) String() string {
+	return fmt.Sprintf("%v: %d frames, %.0f m, %d crashes, %.1f J, %.0f s at %.1f fps",
+		r.Config, r.Frames, r.DistanceM, r.Crashes, r.EnergySpentJ, r.WallClockS, r.FPS)
+}
+
+// RunMission flies the agent in the world until the compute budget or the
+// frame bound is exhausted, charging each frame's hardware cost from the
+// performance model.
+func RunMission(w *env.World, agent *rl.Agent, model *hw.Model, cfg MissionConfig) MissionResult {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 4
+	}
+	if cfg.MaxFrames <= 0 {
+		cfg.MaxFrames = 100000
+	}
+	perFrameJ := model.EnergyPerFrameMJ(cfg.Config) / 1000
+	if !cfg.Online {
+		// Inference only: one forward pass plus the camera link.
+		perFrameJ = model.ForwardEnergyMJ() / 1000
+	}
+	fps := model.Iteration(cfg.Config, cfg.Batch).FPS()
+
+	res := MissionResult{Config: cfg.Config, FPS: fps}
+	obs := env.DepthImage(w.Depths(), w.Camera.MaxRange)
+	for res.Frames < cfg.MaxFrames && res.EnergySpentJ+perFrameJ <= cfg.ComputeBudgetJ {
+		var action int
+		if cfg.Online {
+			action = agent.SelectAction(obs)
+		} else {
+			action = agent.Greedy(obs)
+		}
+		step := w.Step(env.Action(action))
+		next := env.DepthImage(step.Depths, w.Camera.MaxRange)
+		if cfg.Online {
+			agent.Observe(rl.Transition{
+				State: obs, Action: action, Reward: step.Reward,
+				Next: next, Done: step.Crashed,
+			})
+			if res.Frames%cfg.Batch == 0 {
+				agent.TrainStep()
+			}
+		}
+		obs = next
+		res.Frames++
+		res.DistanceM += w.DFrame
+		res.EnergySpentJ += perFrameJ
+		if step.Crashed {
+			res.Crashes++
+		}
+	}
+	res.WallClockS = float64(res.Frames) / fps
+	return res
+}
+
+// CompareMissions runs the same mission under every topology with fresh
+// agents deployed from one snapshot, returning results in nn.Configs order.
+// It quantifies the end-to-end payoff of the co-design: under a fixed
+// compute budget the L-configurations process several times more frames
+// than the E2E baseline.
+func CompareMissions(seed int64, budgetJ float64, online bool) ([]MissionResult, error) {
+	spec := nn.NavNetSpec()
+	model := hw.NewModel()
+	meta := env.IndoorMeta(seed + 100)
+	snap, _ := metaTrainQuick(meta, spec, seed)
+
+	var out []MissionResult
+	for _, cfg := range nn.Configs {
+		w := env.IndoorApartment(seed + 1)
+		agent, err := deploySnapshot(snap, spec, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RunMission(w, agent, model, MissionConfig{
+			Config: cfg, Batch: 4, ComputeBudgetJ: budgetJ, Online: online,
+		}))
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"dronerl/internal/geom"
+)
+
+func allWorlds(seed int64) []*World {
+	return []*World{
+		IndoorApartment(seed), IndoorHouse(seed), IndoorMeta(seed),
+		OutdoorForest(seed), OutdoorTown(seed), OutdoorMeta(seed),
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	for _, w := range allWorlds(3) {
+		if len(w.Obstacles) == 0 {
+			t.Errorf("%s: no obstacles", w.Name)
+		}
+		if w.DMin <= 0 || w.DFrame <= 0 || w.CollisionRadius <= 0 {
+			t.Errorf("%s: bad parameters", w.Name)
+		}
+		if w.Kind != "indoor" && w.Kind != "outdoor" {
+			t.Errorf("%s: kind %q", w.Name, w.Kind)
+		}
+		if w.Clearance(w.Drone.Pos) < w.CollisionRadius {
+			t.Errorf("%s: spawned in collision", w.Name)
+		}
+	}
+}
+
+func TestIndoorTighterThanOutdoor(t *testing.T) {
+	// Fig. 1(c): indoor d_min in [0.7, 1.3], outdoor in [3, 5].
+	for _, w := range allWorlds(4) {
+		switch w.Kind {
+		case "indoor":
+			if w.DMin < 0.7 || w.DMin > 1.3 {
+				t.Errorf("%s: indoor d_min %v outside [0.7, 1.3]", w.Name, w.DMin)
+			}
+		case "outdoor":
+			if w.DMin < 3 || w.DMin > 5 {
+				t.Errorf("%s: outdoor d_min %v outside [3, 5]", w.Name, w.DMin)
+			}
+		}
+	}
+}
+
+// obstacleSpacing returns the minimum surface separation between circle
+// anchors in the world by probing clearances just outside each obstacle.
+func TestSpacingRespectsDMin(t *testing.T) {
+	w := OutdoorForest(9)
+	// For circles the builder guarantees centre distance >= r1+r2+dmin.
+	var circles []geom.Circle
+	for _, o := range w.Obstacles {
+		if c, ok := o.(CircleObstacle); ok {
+			circles = append(circles, c.Circle)
+		}
+	}
+	if len(circles) < 10 {
+		t.Fatalf("forest should have many trees, got %d", len(circles))
+	}
+	for i := range circles {
+		for j := i + 1; j < len(circles); j++ {
+			gap := circles[i].C.Dist(circles[j].C) - circles[i].R - circles[j].R
+			if gap < w.DMin-1e-9 {
+				t.Fatalf("trees %d,%d gap %.3f < d_min %.1f", i, j, gap, w.DMin)
+			}
+		}
+	}
+}
+
+func TestTownIsBoxDominated(t *testing.T) {
+	// The divergence between town (boxes) and outdoor meta (cylinders) is
+	// the mechanism behind the paper's worst-case transfer degradation;
+	// assert the shapes actually differ.
+	town := OutdoorTown(5)
+	meta := OutdoorMeta(5)
+	countKinds := func(w *World) (circles, rects int) {
+		for _, o := range w.Obstacles {
+			switch o.(type) {
+			case CircleObstacle:
+				circles++
+			case RectObstacle:
+				rects++
+			}
+		}
+		return
+	}
+	tc, tr := countKinds(town)
+	mc, mr := countKinds(meta)
+	if tr <= tc {
+		t.Errorf("town must be box-dominated (circles %d, rects %d)", tc, tr)
+	}
+	if mc <= mr {
+		t.Errorf("outdoor meta must be cylinder-dominated (circles %d, rects %d)", mc, mr)
+	}
+}
+
+func TestMetaForSelectsByKind(t *testing.T) {
+	if got := MetaFor(OutdoorTown(1), 2); got.Kind != "outdoor" {
+		t.Errorf("outdoor test env must map to outdoor meta, got %s", got.Name)
+	}
+	if got := MetaFor(IndoorHouse(1), 2); got.Kind != "indoor" {
+		t.Errorf("indoor test env must map to indoor meta, got %s", got.Name)
+	}
+}
+
+func TestTestEnvironmentsOrder(t *testing.T) {
+	envs := TestEnvironments(1)
+	want := []string{"indoor apartment", "indoor house", "outdoor forest", "outdoor town"}
+	if len(envs) != len(want) {
+		t.Fatalf("got %d environments", len(envs))
+	}
+	for i, w := range envs {
+		if w.Name != want[i] {
+			t.Errorf("env %d = %s, want %s", i, w.Name, want[i])
+		}
+	}
+}
+
+func TestFig1DMinTable(t *testing.T) {
+	// The exact Fig. 1(c) values.
+	want := map[string]float64{
+		"Indoor 1": 0.7, "Indoor 2": 1.0, "Indoor 3": 1.3,
+		"Outdoor 1": 3.0, "Outdoor 2": 4.0, "Outdoor 3": 5.0,
+	}
+	if len(Fig1DMin) != 6 {
+		t.Fatalf("table has %d rows", len(Fig1DMin))
+	}
+	for _, row := range Fig1DMin {
+		if want[row.Name] != row.DMin {
+			t.Errorf("%s d_min = %v, want %v", row.Name, row.DMin, want[row.Name])
+		}
+	}
+}
+
+func TestFig1MinFPSValues(t *testing.T) {
+	// Spot-check the min-FPS table of Fig. 1(c): fps = v / d_min.
+	cases := []struct {
+		dmin, v, fps float64
+	}{
+		{0.7, 2.5, 3.571}, {0.7, 10, 14.28},
+		{1.0, 5, 5}, {1.3, 7.5, 5.769},
+		{3.0, 10, 3.333}, {5.0, 10, 2},
+	}
+	for _, c := range cases {
+		w := emptyWorld()
+		w.DMin = c.dmin
+		if got := w.MinFPS(c.v); math.Abs(got-c.fps) > 0.01 {
+			t.Errorf("d_min=%v v=%v: fps %v, want %v", c.dmin, c.v, got, c.fps)
+		}
+	}
+}
+
+func TestWorldsAreFlyable(t *testing.T) {
+	// A random-walk drone must survive at least a few steps on average —
+	// guards against degenerate generation (spawn boxed in by obstacles).
+	for _, w := range allWorlds(8) {
+		crashes := 0
+		steps := 200
+		for i := 0; i < steps; i++ {
+			a := Action(i % NumActions)
+			if w.Step(a).Crashed {
+				crashes++
+			}
+		}
+		if crashes > steps/4 {
+			t.Errorf("%s: %d crashes in %d steps — world too tight", w.Name, crashes, steps)
+		}
+	}
+}
+
+func TestDepthScanSeesClutter(t *testing.T) {
+	// In every catalog world, some scan from spawn must see something
+	// nearer than max range (i.e. the world is not visually empty).
+	for _, w := range allWorlds(10) {
+		sawSomething := false
+		for i := 0; i < 20 && !sawSomething; i++ {
+			w.Spawn()
+			for _, z := range w.Depths() {
+				if z < w.Camera.MaxRange*0.9 {
+					sawSomething = true
+					break
+				}
+			}
+		}
+		if !sawSomething {
+			t.Errorf("%s: depth camera never sees obstacles", w.Name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package env
+
+import "testing"
+
+func TestOutdoorMetaRichMixesShapes(t *testing.T) {
+	w := OutdoorMetaRich(5)
+	var circles, rects int
+	for _, o := range w.Obstacles {
+		switch o.(type) {
+		case CircleObstacle:
+			circles++
+		case RectObstacle:
+			rects++
+		}
+	}
+	if circles < 10 || rects < 10 {
+		t.Errorf("rich meta needs both shapes in quantity: %d circles, %d rects", circles, rects)
+	}
+	if w.Kind != "outdoor" {
+		t.Errorf("kind = %q", w.Kind)
+	}
+	// Richer than the standard meta in box content.
+	std := OutdoorMeta(5)
+	var stdRects int
+	for _, o := range std.Obstacles {
+		if _, ok := o.(RectObstacle); ok {
+			stdRects++
+		}
+	}
+	if rects <= stdRects {
+		t.Errorf("rich meta must contain more boxes than standard (%d vs %d)", rects, stdRects)
+	}
+}
+
+func TestWarehouseHasAisles(t *testing.T) {
+	w := Warehouse(9)
+	if w.Kind != "indoor" {
+		t.Errorf("warehouse kind = %q", w.Kind)
+	}
+	var shelves int
+	for _, o := range w.Obstacles {
+		if _, ok := o.(RectObstacle); ok {
+			shelves++
+		}
+	}
+	if shelves < 4 {
+		t.Errorf("warehouse has %d shelving rows, want >= 4", shelves)
+	}
+	// Flyable: random walk must mostly survive in the aisles.
+	crashes := 0
+	for i := 0; i < 200; i++ {
+		if w.Step(Action(i % NumActions)).Crashed {
+			crashes++
+		}
+	}
+	if crashes > 60 {
+		t.Errorf("%d crashes in 200 random steps — aisles too tight", crashes)
+	}
+	if w.DMin < 0.7 || w.DMin > 1.3 {
+		t.Errorf("warehouse d_min %v outside the indoor regime", w.DMin)
+	}
+}

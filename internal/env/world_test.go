@@ -1,0 +1,414 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dronerl/internal/geom"
+)
+
+// emptyWorld builds a bare 20x20 arena with no interior obstacles.
+func emptyWorld() *World {
+	w := &World{
+		Name: "empty", Kind: "indoor",
+		Bounds: geom.Rect{Min: geom.Vec2{}, Max: geom.Vec2{X: 20, Y: 20}},
+		DMin:   1, DFrame: 0.3, CollisionRadius: 0.25,
+		Camera: DefaultIndoorCamera(),
+	}
+	w.Seed(1)
+	w.Drone = Pose{Pos: geom.Vec2{X: 10, Y: 10}}
+	return w
+}
+
+func TestActionTurnAngles(t *testing.T) {
+	if Forward.TurnAngle() != 0 {
+		t.Error("forward must not turn")
+	}
+	if Left25.TurnAngle() <= 0 || Left55.TurnAngle() <= 0 {
+		t.Error("left turns must be positive (CCW)")
+	}
+	if Right25.TurnAngle() >= 0 || Right55.TurnAngle() >= 0 {
+		t.Error("right turns must be negative")
+	}
+	if math.Abs(Left25.TurnAngle()) >= math.Abs(Left55.TurnAngle()) {
+		t.Error("55-degree turn must exceed 25-degree turn")
+	}
+	if NumActions != 5 {
+		t.Error("the paper's action space has 5 actions")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	names := map[Action]string{
+		Forward: "forward", Left25: "left25", Right25: "right25",
+		Left55: "left55", Right55: "right55",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("Action %d = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestClearanceEmptyWorld(t *testing.T) {
+	w := emptyWorld()
+	// Centre of a 20x20 box: 10 m from every wall.
+	if got := w.Clearance(geom.Vec2{X: 10, Y: 10}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("centre clearance = %v, want 10", got)
+	}
+	if got := w.Clearance(geom.Vec2{X: 1, Y: 10}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("near-wall clearance = %v, want 1", got)
+	}
+}
+
+func TestRayDepthWallsAndClamp(t *testing.T) {
+	w := emptyWorld()
+	d := w.RayDepth(geom.Ray{O: geom.Vec2{X: 10, Y: 10}, D: geom.Vec2{X: 1, Y: 0}})
+	// Wall at x=20 is 10 m away but camera clamps at MaxRange=10.
+	if math.Abs(d-10) > 1e-9 {
+		t.Errorf("depth = %v, want 10", d)
+	}
+	w.Camera.MaxRange = 5
+	d = w.RayDepth(geom.Ray{O: geom.Vec2{X: 10, Y: 10}, D: geom.Vec2{X: 1, Y: 0}})
+	if d != 5 {
+		t.Errorf("clamped depth = %v, want 5", d)
+	}
+}
+
+func TestRayDepthSeesObstacle(t *testing.T) {
+	w := emptyWorld()
+	w.Obstacles = append(w.Obstacles, CircleObstacle{geom.Circle{C: geom.Vec2{X: 14, Y: 10}, R: 1}})
+	d := w.RayDepth(geom.Ray{O: geom.Vec2{X: 10, Y: 10}, D: geom.Vec2{X: 1, Y: 0}})
+	if math.Abs(d-3) > 1e-9 {
+		t.Errorf("depth to obstacle = %v, want 3", d)
+	}
+}
+
+func TestScanShapeAndBounds(t *testing.T) {
+	w := emptyWorld()
+	d := w.Camera.Scan(w, w.Drone)
+	if len(d) != w.Camera.Rays {
+		t.Fatalf("scan length %d, want %d", len(d), w.Camera.Rays)
+	}
+	for i, z := range d {
+		if z < 0 || z > w.Camera.MaxRange {
+			t.Fatalf("depth[%d] = %v out of [0, max]", i, z)
+		}
+	}
+}
+
+func TestRewardCenterWindow(t *testing.T) {
+	w := emptyWorld()
+	n := 10
+	depths := make([]float64, n)
+	for i := range depths {
+		depths[i] = 2 // uniform 2 m
+	}
+	r := w.Reward(depths)
+	if math.Abs(r-0.2) > 1e-9 {
+		t.Errorf("uniform reward = %v, want 0.2", r)
+	}
+	// Blocking only the centre must reduce the reward; blocking only the
+	// periphery must not.
+	lo, hi := w.Camera.CenterWindow(n)
+	centerBlocked := append([]float64(nil), depths...)
+	for i := lo; i < hi; i++ {
+		centerBlocked[i] = 0.5
+	}
+	if w.Reward(centerBlocked) >= r {
+		t.Error("blocking the centre window must reduce reward")
+	}
+	periphBlocked := append([]float64(nil), depths...)
+	for i := range periphBlocked {
+		if i < lo || i >= hi {
+			periphBlocked[i] = 0.5
+		}
+	}
+	if w.Reward(periphBlocked) != r {
+		t.Error("periphery must not affect the centre-window reward")
+	}
+}
+
+func TestCenterWindowIsCentred(t *testing.T) {
+	c := DefaultIndoorCamera()
+	lo, hi := c.CenterWindow(64)
+	if hi <= lo {
+		t.Fatal("empty window")
+	}
+	if lo == 0 || hi == 64 {
+		t.Error("window must be strictly interior")
+	}
+	if (64-hi)-lo > 1 || lo-(64-hi) > 1 {
+		t.Errorf("window [%d,%d) not centred", lo, hi)
+	}
+}
+
+func TestStepForwardMoves(t *testing.T) {
+	w := emptyWorld()
+	w.Drone.Heading = 0
+	before := w.Drone.Pos
+	res := w.Step(Forward)
+	if res.Crashed {
+		t.Fatal("crash in empty world")
+	}
+	moved := w.Drone.Pos.Sub(before)
+	if math.Abs(moved.X-w.DFrame) > 1e-9 || math.Abs(moved.Y) > 1e-9 {
+		t.Errorf("moved %v, want (%v, 0)", moved, w.DFrame)
+	}
+	if math.Abs(w.FlightDistance()-w.DFrame) > 1e-9 {
+		t.Errorf("flight distance %v, want %v", w.FlightDistance(), w.DFrame)
+	}
+}
+
+func TestStepTurnsChangeHeading(t *testing.T) {
+	w := emptyWorld()
+	w.Drone.Heading = 0
+	w.Step(Left25)
+	if math.Abs(w.Drone.Heading-geom.Deg(25)) > 1e-9 {
+		t.Errorf("heading after left25 = %v", w.Drone.Heading)
+	}
+	w.Drone.Heading = 0
+	w.Step(Right55)
+	if math.Abs(w.Drone.Heading+geom.Deg(55)) > 1e-9 {
+		t.Errorf("heading after right55 = %v", w.Drone.Heading)
+	}
+}
+
+func TestStepInvalidActionPanics(t *testing.T) {
+	w := emptyWorld()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Step(Action(7))
+}
+
+func TestCrashIntoWall(t *testing.T) {
+	w := emptyWorld()
+	w.Drone = Pose{Pos: geom.Vec2{X: 19.5, Y: 10}, Heading: 0} // facing +x wall
+	res := w.Step(Forward)
+	if !res.Crashed {
+		t.Fatal("expected crash into the east wall")
+	}
+	if res.Reward != 0 {
+		t.Error("crash reward must be 0")
+	}
+	// Respawned somewhere safe.
+	if w.Clearance(w.Drone.Pos) < w.CollisionRadius {
+		t.Error("respawn must be collision-free")
+	}
+	if w.FlightDistance() != 0 {
+		t.Error("flight distance must reset after crash")
+	}
+}
+
+func TestNoTunnellingThroughWall(t *testing.T) {
+	// A thin wall directly ahead closer than one DFrame: the swept move
+	// must register the crash rather than jumping across.
+	w := emptyWorld()
+	w.DFrame = 2.0
+	w.Obstacles = append(w.Obstacles, WallObstacle{geom.Segment{A: geom.Vec2{X: 10.5, Y: 9}, B: geom.Vec2{X: 10.5, Y: 11}}})
+	w.Drone = Pose{Pos: geom.Vec2{X: 10, Y: 10}, Heading: 0}
+	res := w.Step(Forward)
+	if !res.Crashed {
+		t.Fatal("drone tunnelled through a thin wall")
+	}
+}
+
+func TestFlightDistanceAccumulates(t *testing.T) {
+	w := emptyWorld()
+	w.Drone = Pose{Pos: geom.Vec2{X: 5, Y: 10}, Heading: math.Pi / 2}
+	total := 0.0
+	for i := 0; i < 10; i++ {
+		res := w.Step(Forward)
+		if res.Crashed {
+			t.Fatal("unexpected crash")
+		}
+		total += w.DFrame
+	}
+	if math.Abs(w.FlightDistance()-total) > 1e-9 {
+		t.Errorf("flight distance %v, want %v", w.FlightDistance(), total)
+	}
+}
+
+func TestSpawnIsSafeAndSeeded(t *testing.T) {
+	w := IndoorApartment(42)
+	for i := 0; i < 50; i++ {
+		w.Spawn()
+		if w.Clearance(w.Drone.Pos) < w.CollisionRadius {
+			t.Fatalf("unsafe spawn at %v", w.Drone.Pos)
+		}
+	}
+	// Determinism: same seed, same spawn sequence.
+	a := IndoorApartment(7)
+	b := IndoorApartment(7)
+	for i := 0; i < 5; i++ {
+		a.Spawn()
+		b.Spawn()
+		if a.Drone != b.Drone {
+			t.Fatal("same seed must reproduce spawns")
+		}
+	}
+}
+
+func TestMinFPSFormula(t *testing.T) {
+	w := emptyWorld()
+	w.DMin = 0.7
+	// Paper Fig. 1(c): indoor 1 at 2.5 m/s needs 3.571 fps.
+	if got := w.MinFPS(2.5); math.Abs(got-3.571) > 0.001 {
+		t.Errorf("MinFPS(2.5) = %v, want 3.571", got)
+	}
+}
+
+func TestStereoModelProperties(t *testing.T) {
+	s := DefaultStereo()
+	rng := rand.New(rand.NewSource(3))
+	// Noise-free check: a depth well inside range round-trips closely.
+	s2 := &StereoModel{FocalPx: 320, BaselineM: 0.12, NoisePx: 0}
+	for _, z := range []float64{0.5, 1, 2, 4} {
+		got := s2.Apply(z, 10, rng)
+		if math.Abs(got-z)/z > 0.15 {
+			t.Errorf("noise-free stereo depth %v -> %v (>15%% error)", z, got)
+		}
+	}
+	// Far depths must saturate to max range when disparity underflows.
+	if got := s2.Apply(1000, 10, rng); got != 10 {
+		t.Errorf("far depth = %v, want clamp to 10", got)
+	}
+	// Noisy error must grow with distance (stereo's quadratic error).
+	meanErr := func(z float64) float64 {
+		var e float64
+		for i := 0; i < 500; i++ {
+			e += math.Abs(s.Apply(z, 40, rng) - z)
+		}
+		return e / 500
+	}
+	if meanErr(20) <= meanErr(2) {
+		t.Error("stereo error must grow with distance")
+	}
+}
+
+func TestDepthImageShapeAndRange(t *testing.T) {
+	depths := make([]float64, 64)
+	for i := range depths {
+		depths[i] = 5
+	}
+	img := DepthImage(depths, 10)
+	if img.Dim(0) != 1 || img.Dim(1) != ImageSize || img.Dim(2) != ImageSize {
+		t.Fatalf("image shape %v", img.Shape())
+	}
+	for _, v := range img.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestDepthImageCloserIsTallerAndBrighter(t *testing.T) {
+	near := make([]float64, 64)
+	far := make([]float64, 64)
+	for i := range near {
+		near[i] = 1
+		far[i] = 8
+	}
+	imgNear := DepthImage(near, 10)
+	imgFar := DepthImage(far, 10)
+	count := func(img interface{ Data() []float32 }) (n int, sum float64) {
+		for _, v := range img.Data() {
+			if v > 0 {
+				n++
+				sum += float64(v)
+			}
+		}
+		return
+	}
+	nNear, sNear := count(imgNear)
+	nFar, sFar := count(imgFar)
+	if nNear <= nFar {
+		t.Error("closer obstacles must fill more pixels")
+	}
+	if sNear/float64(nNear) <= sFar/float64(nFar) {
+		t.Error("closer obstacles must be brighter")
+	}
+}
+
+func TestStepDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		w := OutdoorForest(11)
+		var rewards []float64
+		actions := []Action{Forward, Left25, Forward, Right55, Forward, Forward}
+		for _, a := range actions {
+			res := w.Step(a)
+			rewards = append(rewards, res.Reward)
+		}
+		return rewards
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic reward at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRenderContainsDrone(t *testing.T) {
+	w := IndoorApartment(5)
+	s := w.Render(60, 30)
+	if !strings.Contains(s, "D") {
+		t.Error("render must mark the drone")
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("render must draw walls")
+	}
+	if !strings.HasPrefix(s, "indoor apartment") {
+		t.Error("render must carry the world name")
+	}
+}
+
+func TestDepthsAlwaysInRangeProperty(t *testing.T) {
+	// Property: whatever the pose and world, every depth sample lies in
+	// (0, MaxRange] and every reward in [0, 1].
+	err := quick.Check(func(seed int64, px, py, heading float64) bool {
+		w := IndoorHouse(seed%1000 + 1)
+		size := w.Bounds.Max.Sub(w.Bounds.Min)
+		w.Drone = Pose{
+			Pos: geom.Vec2{
+				X: w.Bounds.Min.X + math.Mod(math.Abs(px), size.X),
+				Y: w.Bounds.Min.Y + math.Mod(math.Abs(py), size.Y),
+			},
+			Heading: heading,
+		}
+		d := w.Depths()
+		for _, z := range d {
+			// Zero depth is legal when the sampled pose sits on an
+			// obstacle surface; negatives and NaN never are.
+			if z < 0 || z > w.Camera.MaxRange || math.IsNaN(z) {
+				return false
+			}
+		}
+		r := w.Reward(d)
+		return r >= 0 && r <= 1
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomFlightNeverEscapesBounds(t *testing.T) {
+	// Property: however the drone flies, crashes and respawns keep it
+	// inside the outer walls.
+	w := OutdoorTown(31)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		w.Step(Action(rng.Intn(NumActions)))
+		p := w.Drone.Pos
+		if p.X < w.Bounds.Min.X-w.DFrame || p.X > w.Bounds.Max.X+w.DFrame ||
+			p.Y < w.Bounds.Min.Y-w.DFrame || p.Y > w.Bounds.Max.Y+w.DFrame {
+			t.Fatalf("drone escaped the world at %v on step %d", p, i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"dronerl/internal/mem"
+	"dronerl/internal/nn"
+)
+
+// EnergyBreakdown attributes one training iteration's energy (forward +
+// backward of one image) to its physical sinks. It makes the paper's
+// asymmetry argument quantitative: under E2E the STT-MRAM write component
+// appears and the compute component balloons with the backward passes;
+// under L2/L3/L4 the write component is identically zero.
+type EnergyBreakdown struct {
+	Config nn.Config
+	// ComputeMJ is the PE-array-and-buffers energy (the affine power
+	// model integrated over the busy time).
+	ComputeMJ float64
+	// MRAMReadMJ is the Table 1 read energy of all weight streaming.
+	MRAMReadMJ float64
+	// NVMWriteMJ is the Table 1 write energy of weight write-backs
+	// (zero for the Li topologies — the point of the co-design).
+	NVMWriteMJ float64
+	// LinkMJ is the DDR camera-frame transfer energy.
+	LinkMJ float64
+}
+
+// TotalMJ sums the components.
+func (b EnergyBreakdown) TotalMJ() float64 {
+	return b.ComputeMJ + b.MRAMReadMJ + b.NVMWriteMJ + b.LinkMJ
+}
+
+// Breakdown decomposes the per-iteration energy for a topology.
+func (m *Model) Breakdown(cfg nn.Config) EnergyBreakdown {
+	b := EnergyBreakdown{Config: cfg}
+
+	// Forward: every layer streams its weights once from the stack.
+	for i := range m.Arch.Convs {
+		c := m.ConvForwardCost(i)
+		read := m.MRAM.EnergyPJ(mem.Read, int64(m.Arch.Convs[i].Weights())*m.wordBits()) / 1e9
+		b.MRAMReadMJ += read
+		b.ComputeMJ += c.EnergyMJ - read
+	}
+	for i := range m.Arch.FCs {
+		c := m.FCForwardCost(i)
+		read := m.MRAM.EnergyPJ(mem.Read, int64(m.Arch.FCs[i].Weights())*m.wordBits()) / 1e9
+		b.MRAMReadMJ += read
+		b.ComputeMJ += c.EnergyMJ - read
+	}
+
+	// Backward: trained layers re-stream weights twice (dX + dW) and
+	// NVM-resident ones pay the write-back.
+	for _, row := range m.BackwardTable(cfg) {
+		name := trimSuffixes(row.Layer)
+		words := m.layerWeightWords(name)
+		read := m.MRAM.EnergyPJ(mem.Read, 2*words*m.wordBits()) / 1e9
+		var write float64
+		if row.NVMWrite {
+			write = m.MRAM.EnergyPJ(mem.Write, words*m.wordBits()) / 1e9
+		}
+		// Conv backward rows price only staging+compute plus the write;
+		// their cost function does not include explicit reads.
+		if isConvLayer(name) {
+			read = 0
+		}
+		b.MRAMReadMJ += read
+		b.NVMWriteMJ += write
+		b.ComputeMJ += row.EnergyMJ - read - write
+	}
+
+	frame := mem.FrameBytes(m.Arch.InputH, m.Arch.InputC)
+	b.LinkMJ = m.Link.TransferEnergyPJ(frame) / 1e9
+	return b
+}
+
+func trimSuffixes(layer string) string {
+	for i := 0; i < len(layer); i++ {
+		if layer[i] == '+' {
+			return layer[:i]
+		}
+	}
+	return layer
+}
+
+func isConvLayer(name string) bool {
+	return len(name) >= 4 && name[:4] == "CONV"
+}

@@ -1,0 +1,93 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dronerl/internal/nn"
+)
+
+func TestTimelinePhasesContiguous(t *testing.T) {
+	m := NewModel()
+	tl := m.BuildTimeline(nn.L4, 4)
+	if len(tl.Phases) == 0 {
+		t.Fatal("empty timeline")
+	}
+	cursor := 0.0
+	for _, p := range tl.Phases {
+		if math.Abs(p.StartMS-cursor) > 1e-9 {
+			t.Fatalf("phase %q starts at %v, want %v", p.Name, p.StartMS, cursor)
+		}
+		if p.EndMS < p.StartMS {
+			t.Fatalf("phase %q has negative duration", p.Name)
+		}
+		cursor = p.EndMS
+	}
+	if math.Abs(tl.TotalMS()-cursor) > 1e-9 {
+		t.Error("TotalMS must equal the last phase end")
+	}
+}
+
+func TestTimelineMatchesIterationCost(t *testing.T) {
+	// The schedule makespan must equal the Iteration cost model
+	// (both describe the same frame).
+	m := NewModel()
+	for _, cfg := range nn.Configs {
+		tl := m.BuildTimeline(cfg, 4)
+		it := m.Iteration(cfg, 4)
+		frameMS := m.Link.TransferTimeNS(227*227*3*2) / 1e6
+		want := it.TotalMS() + frameMS
+		if math.Abs(tl.TotalMS()-want) > 0.01*want {
+			t.Errorf("%v: timeline %.3f ms vs iteration %.3f ms", cfg, tl.TotalMS(), want)
+		}
+	}
+}
+
+func TestTimelineNVMFlags(t *testing.T) {
+	m := NewModel()
+	// E2E must contain NVM-writing phases; L2 must not.
+	hasNVM := func(tl Timeline) bool {
+		for _, p := range tl.Phases {
+			if p.NVMWrite {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasNVM(m.BuildTimeline(nn.E2E, 4)) {
+		t.Error("E2E timeline must write NVM")
+	}
+	if hasNVM(m.BuildTimeline(nn.L2, 4)) {
+		t.Error("L2 timeline must not write NVM")
+	}
+}
+
+func TestTimelineE2EDominatedByBackward(t *testing.T) {
+	m := NewModel()
+	tl := m.BuildTimeline(nn.E2E, 4)
+	var bwd, total float64
+	for _, p := range tl.Phases {
+		total += p.DurationMS()
+		if strings.HasPrefix(p.Name, "bwd ") {
+			bwd += p.DurationMS()
+		}
+	}
+	if bwd/total < 0.6 {
+		t.Errorf("E2E backward share %.2f, want the dominant cost", bwd/total)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	m := NewModel()
+	s := m.BuildTimeline(nn.L3, 8).Render(60)
+	if !strings.Contains(s, "frame ingest") || !strings.Contains(s, "inference") {
+		t.Error("render must show the pipeline phases")
+	}
+	if !strings.Contains(s, "bwd FC3+ReLU") {
+		t.Error("render must show per-layer backward phases")
+	}
+	if len(strings.Split(s, "\n")) < 10 {
+		t.Error("render suspiciously short")
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+
+	"dronerl/internal/tensor"
+)
+
+// LRN is AlexNet's local response normalization across channels
+// ("followed by ReLU, norm" in Fig. 3(a)):
+//
+//	b[i] = a[i] / (K + Alpha/N * sum_{j in window(i)} a[j]^2)^Beta
+//
+// where the window spans N channels centred on i. The default constants are
+// AlexNet's (K=2, N=5, Alpha=1e-4, Beta=0.75).
+type LRN struct {
+	LayerName string
+	N         int
+	K         float64
+	Alpha     float64
+	Beta      float64
+	lastIn    *tensor.Tensor
+	lastDenom []float64
+}
+
+// NewLRN creates an LRN layer with AlexNet's constants.
+func NewLRN(name string) *LRN {
+	return &LRN{LayerName: name, N: 5, K: 2, Alpha: 1e-4, Beta: 0.75}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	out := tensor.New(c, h, w)
+	if cap(l.lastDenom) < c*h*w {
+		l.lastDenom = make([]float64, c*h*w)
+	}
+	l.lastDenom = l.lastDenom[:c*h*w]
+	l.lastIn = in
+	id := in.Data()
+	od := out.Data()
+	half := l.N / 2
+	hw := h * w
+	for p := 0; p < hw; p++ {
+		for ch := 0; ch < c; ch++ {
+			lo := ch - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := ch + half
+			if hi >= c {
+				hi = c - 1
+			}
+			var ss float64
+			for j := lo; j <= hi; j++ {
+				v := float64(id[j*hw+p])
+				ss += v * v
+			}
+			denom := l.K + l.Alpha/float64(l.N)*ss
+			l.lastDenom[ch*hw+p] = denom
+			od[ch*hw+p] = id[ch*hw+p] * float32(math.Pow(denom, -l.Beta))
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LRN) Backward(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if !needInputGrad {
+		return nil
+	}
+	in := l.lastIn
+	c := in.Dim(0)
+	hw := in.Dim(1) * in.Dim(2)
+	id := in.Data()
+	gd := grad.Data()
+	out := tensor.New(in.Shape()...)
+	od := out.Data()
+	half := l.N / 2
+	scale := 2 * l.Alpha * l.Beta / float64(l.N)
+	for p := 0; p < hw; p++ {
+		// dIn[j] = g[j]*denom[j]^-beta
+		//        - scale * a[j] * sum_{i: j in win(i)} g[i]*a[i]*denom[i]^-(beta+1)
+		for j := 0; j < c; j++ {
+			denomJ := l.lastDenom[j*hw+p]
+			direct := float64(gd[j*hw+p]) * math.Pow(denomJ, -l.Beta)
+			lo := j - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := j + half
+			if hi >= c {
+				hi = c - 1
+			}
+			var cross float64
+			for i := lo; i <= hi; i++ {
+				denomI := l.lastDenom[i*hw+p]
+				cross += float64(gd[i*hw+p]) * float64(id[i*hw+p]) * math.Pow(denomI, -(l.Beta+1))
+			}
+			od[j*hw+p] = float32(direct - scale*float64(id[j*hw+p])*cross)
+		}
+	}
+	return out
+}

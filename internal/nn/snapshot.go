@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a serializable copy of a network's weights, the artifact that
+// is "downloaded to the drone" after meta-environment training (paper
+// Section II.D step 1). Only parameter values are captured; gradients and
+// architecture are not.
+type Snapshot struct {
+	Arch   string
+	Names  []string
+	Shapes [][]int
+	Data   [][]float32
+}
+
+// TakeSnapshot copies the current weights of n into a Snapshot labelled with
+// the architecture name.
+func TakeSnapshot(n *Network, arch string) *Snapshot {
+	ps := n.Params()
+	s := &Snapshot{Arch: arch}
+	for _, p := range ps {
+		s.Names = append(s.Names, p.Name)
+		s.Shapes = append(s.Shapes, append([]int(nil), p.W.Shape()...))
+		s.Data = append(s.Data, append([]float32(nil), p.W.Data()...))
+	}
+	return s
+}
+
+// Restore writes the snapshot's weights into n. The parameter list must
+// match by name and size.
+func (s *Snapshot) Restore(n *Network) error {
+	ps := n.Params()
+	if len(ps) != len(s.Names) {
+		return fmt.Errorf("nn: snapshot has %d params, network has %d", len(s.Names), len(ps))
+	}
+	for i, p := range ps {
+		if p.Name != s.Names[i] {
+			return fmt.Errorf("nn: snapshot param %d is %q, network expects %q", i, s.Names[i], p.Name)
+		}
+		if len(s.Data[i]) != p.W.Len() {
+			return fmt.Errorf("nn: snapshot param %q has %d values, want %d", p.Name, len(s.Data[i]), p.W.Len())
+		}
+		copy(p.W.Data(), s.Data[i])
+	}
+	return nil
+}
+
+// Encode serializes the snapshot with encoding/gob.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot deserializes a snapshot written by Encode.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}

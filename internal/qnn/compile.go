@@ -1,0 +1,81 @@
+package qnn
+
+import (
+	"fmt"
+
+	"dronerl/internal/fixed"
+	"dronerl/internal/nn"
+)
+
+// Options configures compilation.
+type Options struct {
+	// WeightFmt encodes weights and biases (default Q2.13: CNN weights
+	// are small, so spending bits on fraction preserves accuracy).
+	WeightFmt fixed.Format
+	// ActFmt encodes activations (default Q7.8, matching the
+	// accelerator's activation range).
+	ActFmt fixed.Format
+}
+
+func (o *Options) setDefaults() {
+	zero := fixed.Format{}
+	if o.WeightFmt == zero {
+		o.WeightFmt = fixed.Format{Frac: 13}
+	}
+	if o.ActFmt == zero {
+		o.ActFmt = fixed.Q78
+	}
+}
+
+// Compile converts a trained float network into the integer inference
+// engine. Supported layers: Conv2D, Dense, ReLU, MaxPool, Flatten; LRN is
+// rejected (the deployable NavNet does not use it — the full AlexNet keeps
+// the float reference path for training).
+func Compile(src *nn.Network, opts Options) (*Network, error) {
+	opts.setDefaults()
+	out := &Network{InFmt: opts.ActFmt}
+	for _, l := range src.Layers {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			q := &Conv2D{
+				LayerName: t.LayerName,
+				InC:       t.InC, OutC: t.OutC,
+				K: t.KH, Stride: t.Stride, Pad: t.Pad,
+				W:    quantize(t.Weight.W.Data(), opts.WeightFmt),
+				B:    quantize(t.Bias.W.Data(), opts.WeightFmt),
+				WFmt: opts.WeightFmt, InFmt: opts.ActFmt, OutFmt: opts.ActFmt,
+			}
+			if t.KH != t.KW {
+				return nil, fmt.Errorf("qnn: %s has non-square kernel %dx%d", t.LayerName, t.KH, t.KW)
+			}
+			out.Layers = append(out.Layers, q)
+		case *nn.Dense:
+			out.Layers = append(out.Layers, &Dense{
+				LayerName: t.LayerName,
+				In:        t.In, Out: t.Out,
+				W:    quantize(t.Weight.W.Data(), opts.WeightFmt),
+				B:    quantize(t.Bias.W.Data(), opts.WeightFmt),
+				WFmt: opts.WeightFmt, InFmt: opts.ActFmt, OutFmt: opts.ActFmt,
+			})
+		case *nn.ReLU:
+			out.Layers = append(out.Layers, &ReLU{LayerName: t.LayerName})
+		case *nn.MaxPool:
+			out.Layers = append(out.Layers, &MaxPool{LayerName: t.LayerName, K: t.K, Stride: t.Stride})
+		case *nn.Flatten:
+			out.Layers = append(out.Layers, &Flatten{LayerName: t.LayerName})
+		case *nn.LRN:
+			return nil, fmt.Errorf("qnn: %s: LRN is not supported by the integer engine", t.LayerName)
+		default:
+			return nil, fmt.Errorf("qnn: unsupported layer type %T", l)
+		}
+	}
+	return out, nil
+}
+
+func quantize(xs []float32, f fixed.Format) fixed.Vec {
+	out := make(fixed.Vec, len(xs))
+	for i, x := range xs {
+		out[i] = f.FromFloat(float64(x))
+	}
+	return out
+}

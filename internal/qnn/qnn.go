@@ -1,0 +1,256 @@
+// Package qnn is the deployable integer inference engine: the forward path
+// of a trained network executed entirely in the accelerator's 16-bit
+// fixed-point arithmetic (internal/fixed) with 32-bit accumulators — the
+// numeric behaviour of the PE datapath, bit for bit, rather than a float
+// emulation of it.
+//
+// A float network trained by internal/nn is Compiled once (weights
+// quantized into each layer's format) and then evaluated with integer MACs
+// only. This is the artifact that would actually be downloaded into the
+// STT-MRAM stack: the paper stores "16 bit fixed point" weights (Fig. 4(b))
+// and performs inference reads from the stack.
+package qnn
+
+import (
+	"fmt"
+
+	"dronerl/internal/fixed"
+	"dronerl/internal/tensor"
+)
+
+// QTensor is an integer tensor with an associated fixed-point format.
+type QTensor struct {
+	Shape []int
+	Data  fixed.Vec
+	Fmt   fixed.Format
+}
+
+// Len returns the element count.
+func (q QTensor) Len() int { return len(q.Data) }
+
+// Layer is one integer inference stage.
+type Layer interface {
+	// Name identifies the layer.
+	Name() string
+	// Forward consumes and produces format-tagged integer tensors.
+	Forward(in QTensor) QTensor
+	// WeightBits returns the read traffic this layer generates against
+	// the weight store, in bits.
+	WeightBits() int64
+}
+
+// Conv2D is an integer convolution (CHW, square kernel).
+type Conv2D struct {
+	LayerName           string
+	InC, OutC           int
+	K, Stride, Pad      int
+	W                   fixed.Vec // (outC, inC*k*k) row-major
+	B                   fixed.Vec
+	WFmt, InFmt, OutFmt fixed.Format
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// WeightBits implements Layer.
+func (c *Conv2D) WeightBits() int64 { return int64(len(c.W)+len(c.B)) * 16 }
+
+// Forward implements Layer. Products accumulate in 32-bit (as in the PE
+// MAC units) and are narrowed once per output pixel.
+func (c *Conv2D) Forward(in QTensor) QTensor {
+	h, w := in.Shape[1], in.Shape[2]
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	out := QTensor{Shape: []int{c.OutC, oh, ow}, Data: make(fixed.Vec, c.OutC*oh*ow), Fmt: c.OutFmt}
+	colw := c.InC * c.K * c.K
+	for oc := 0; oc < c.OutC; oc++ {
+		wrow := c.W[oc*colw : (oc+1)*colw]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc fixed.Acc
+				p := 0
+				for ic := 0; ic < c.InC; ic++ {
+					base := ic * h * w
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								acc = fixed.MAC(acc, in.Data[base+iy*w+ix], wrow[p])
+							}
+							p++
+						}
+					}
+				}
+				word := narrowMixed(acc, c.InFmt, c.WFmt, c.OutFmt)
+				word = fixed.SatAdd(word, rescale(c.B[oc], c.WFmt, c.OutFmt))
+				out.Data[oc*oh*ow+oy*ow+ox] = word
+			}
+		}
+	}
+	return out
+}
+
+// Dense is an integer fully-connected layer.
+type Dense struct {
+	LayerName           string
+	In, Out             int
+	W                   fixed.Vec // (out, in) row-major
+	B                   fixed.Vec
+	WFmt, InFmt, OutFmt fixed.Format
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.LayerName }
+
+// WeightBits implements Layer.
+func (d *Dense) WeightBits() int64 { return int64(len(d.W)+len(d.B)) * 16 }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in QTensor) QTensor {
+	if in.Len() != d.In {
+		panic(fmt.Sprintf("qnn: %s expects %d inputs, got %d", d.LayerName, d.In, in.Len()))
+	}
+	out := QTensor{Shape: []int{d.Out}, Data: make(fixed.Vec, d.Out), Fmt: d.OutFmt}
+	for j := 0; j < d.Out; j++ {
+		row := d.W[j*d.In : (j+1)*d.In]
+		acc := fixed.DotAcc(in.Data, row)
+		word := narrowMixed(acc, d.InFmt, d.WFmt, d.OutFmt)
+		out.Data[j] = fixed.SatAdd(word, rescale(d.B[j], d.WFmt, d.OutFmt))
+	}
+	return out
+}
+
+// ReLU is the integer rectifier (a comparator against zero).
+type ReLU struct{ LayerName string }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// WeightBits implements Layer.
+func (r *ReLU) WeightBits() int64 { return 0 }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in QTensor) QTensor {
+	out := QTensor{Shape: in.Shape, Data: make(fixed.Vec, in.Len()), Fmt: in.Fmt}
+	copy(out.Data, in.Data)
+	fixed.ReLUVec(out.Data)
+	return out
+}
+
+// MaxPool is the integer max-pooling layer (comparators only).
+type MaxPool struct {
+	LayerName string
+	K, Stride int
+}
+
+// Name implements Layer.
+func (m *MaxPool) Name() string { return m.LayerName }
+
+// WeightBits implements Layer.
+func (m *MaxPool) WeightBits() int64 { return 0 }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(in QTensor) QTensor {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := (h-m.K)/m.Stride + 1
+	ow := (w-m.K)/m.Stride + 1
+	out := QTensor{Shape: []int{c, oh, ow}, Data: make(fixed.Vec, c*oh*ow), Fmt: in.Fmt}
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := in.Data[base+oy*m.Stride*w+ox*m.Stride]
+				for ky := 0; ky < m.K; ky++ {
+					for kx := 0; kx < m.K; kx++ {
+						v := in.Data[base+(oy*m.Stride+ky)*w+ox*m.Stride+kx]
+						best = fixed.Max2(best, v)
+					}
+				}
+				out.Data[ch*oh*ow+oy*ow+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// Flatten reshapes without touching data.
+type Flatten struct{ LayerName string }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.LayerName }
+
+// WeightBits implements Layer.
+func (f *Flatten) WeightBits() int64 { return 0 }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(in QTensor) QTensor {
+	return QTensor{Shape: []int{in.Len()}, Data: in.Data, Fmt: in.Fmt}
+}
+
+// Network is a compiled integer network.
+type Network struct {
+	Layers []Layer
+	// InFmt is the expected input activation format.
+	InFmt fixed.Format
+}
+
+// Forward quantizes a float CHW image into the input format and runs the
+// integer pipeline, returning the Q-value words and their format.
+func (n *Network) Forward(img *tensor.Tensor) (fixed.Vec, fixed.Format) {
+	q := QTensor{Shape: append([]int(nil), img.Shape()...), Data: make(fixed.Vec, img.Len()), Fmt: n.InFmt}
+	for i, v := range img.Data() {
+		q.Data[i] = n.InFmt.FromFloat(float64(v))
+	}
+	for _, l := range n.Layers {
+		q = l.Forward(q)
+	}
+	return q.Data, q.Fmt
+}
+
+// Greedy returns the argmax action of the integer Q-values.
+func (n *Network) Greedy(img *tensor.Tensor) int {
+	q, _ := n.Forward(img)
+	best := 0
+	for i, w := range q {
+		if w > q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// WeightBits sums the weight-store read traffic of one inference.
+func (n *Network) WeightBits() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.WeightBits()
+	}
+	return total
+}
+
+// narrowMixed converts an accumulator whose operands had inFmt and wFmt
+// fractional bits into outFmt with rounding and saturation.
+func narrowMixed(acc fixed.Acc, inFmt, wFmt, outFmt fixed.Format) fixed.Word {
+	shift := int(inFmt.Frac+wFmt.Frac) - int(outFmt.Frac)
+	v := int64(acc)
+	switch {
+	case shift > 0:
+		half := int64(1) << uint(shift) >> 1
+		v = (v + half) >> uint(shift)
+	case shift < 0:
+		v <<= uint(-shift)
+	}
+	if v > 32767 {
+		v = 32767
+	}
+	if v < -32768 {
+		v = -32768
+	}
+	return fixed.Word(v)
+}
+
+// rescale converts a word from one format to another.
+func rescale(w fixed.Word, from, to fixed.Format) fixed.Word {
+	return to.FromFloat(from.ToFloat(w))
+}

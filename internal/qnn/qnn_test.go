@@ -1,0 +1,206 @@
+package qnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/env"
+	"dronerl/internal/fixed"
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+func trainedNavNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.BuildNavNet()
+	n.Init(rng)
+	return n
+}
+
+func depthImage(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32() // depth images live in [0,1]
+	}
+	return x
+}
+
+func TestCompileNavNet(t *testing.T) {
+	q, err := Compile(trainedNavNet(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer sequence preserved: conv,relu x2, flatten, (dense,relu) x3, dense.
+	if len(q.Layers) != 12 {
+		t.Fatalf("%d layers, want 12", len(q.Layers))
+	}
+	if q.Layers[0].Name() != "CONV1" {
+		t.Errorf("first layer %s", q.Layers[0].Name())
+	}
+}
+
+func TestCompileRejectsLRN(t *testing.T) {
+	net := nn.NewNetwork(nn.NewLRN("norm"))
+	if _, err := Compile(net, Options{}); err == nil {
+		t.Fatal("expected LRN rejection")
+	}
+}
+
+func TestIntegerForwardMatchesFloat(t *testing.T) {
+	net := trainedNavNet(2)
+	q, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		x := depthImage(100 + seed)
+		ref := net.Forward(x.Clone())
+		words, fmtOut := q.Forward(x)
+		if len(words) != ref.Len() {
+			t.Fatalf("q output %d values, float %d", len(words), ref.Len())
+		}
+		for i := range words {
+			got := fmtOut.ToFloat(words[i])
+			want := float64(ref.At(i))
+			if math.Abs(got-want) > 0.08 {
+				t.Errorf("seed %d Q[%d]: integer %.4f vs float %.4f", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIntegerGreedyAgreement(t *testing.T) {
+	// Across many random observations the integer engine must pick the
+	// same action as the float reference in the overwhelming majority of
+	// cases (ties/near-ties may flip).
+	net := trainedNavNet(3)
+	q, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 60
+	for seed := int64(0); seed < int64(total); seed++ {
+		x := depthImage(200 + seed)
+		if q.Greedy(x) == net.Forward(x.Clone()).ArgMax() {
+			agree++
+		}
+	}
+	if agree < total*9/10 {
+		t.Errorf("greedy agreement %d/%d, want >= 90%%", agree, total)
+	}
+}
+
+func TestIntegerForwardDeterministic(t *testing.T) {
+	net := trainedNavNet(4)
+	q, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := depthImage(5)
+	a, _ := q.Forward(x)
+	b, _ := q.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("integer inference must be bit-exact deterministic")
+		}
+	}
+}
+
+func TestWeightBitsMatchesModelSize(t *testing.T) {
+	net := trainedNavNet(5)
+	q, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(nn.NavNetSpec().TotalWeights()) * 16
+	if got := q.WeightBits(); got != want {
+		t.Errorf("weight traffic %d bits, want %d", got, want)
+	}
+}
+
+func TestEndToEndFlightWithIntegerPolicy(t *testing.T) {
+	// The integer engine must be usable as the deployed flight policy:
+	// fly it in a world and check it behaves like the float policy.
+	net := trainedNavNet(6)
+	q, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.IndoorApartment(7)
+	agreements, steps := 0, 60
+	for i := 0; i < steps; i++ {
+		obs := env.DepthImage(w.Depths(), w.Camera.MaxRange)
+		qa := q.Greedy(obs)
+		fa := net.Forward(obs.Clone()).ArgMax()
+		if qa == fa {
+			agreements++
+		}
+		w.Step(env.Action(qa))
+	}
+	if agreements < steps*8/10 {
+		t.Errorf("in-flight agreement %d/%d too low", agreements, steps)
+	}
+}
+
+func TestSaturationOnExtremeWeights(t *testing.T) {
+	// A dense layer with huge weights must saturate, not wrap.
+	d := &Dense{
+		LayerName: "sat", In: 2, Out: 1,
+		W:    fixed.Vec{32767, 32767},
+		B:    fixed.Vec{0},
+		WFmt: fixed.Format{Frac: 13}, InFmt: fixed.Q78, OutFmt: fixed.Q78,
+	}
+	in := QTensor{Shape: []int{2}, Data: fixed.Vec{32767, 32767}, Fmt: fixed.Q78}
+	out := d.Forward(in)
+	if out.Data[0] != 32767 {
+		t.Errorf("expected positive saturation, got %d", out.Data[0])
+	}
+}
+
+func TestMaxPoolInteger(t *testing.T) {
+	m := &MaxPool{LayerName: "pool", K: 2, Stride: 2}
+	in := QTensor{
+		Shape: []int{1, 2, 2},
+		Data:  fixed.Vec{1, 5, 3, 2},
+		Fmt:   fixed.Q78,
+	}
+	out := m.Forward(in)
+	if len(out.Data) != 1 || out.Data[0] != 5 {
+		t.Errorf("maxpool = %v", out.Data)
+	}
+}
+
+func TestReLUInteger(t *testing.T) {
+	r := &ReLU{LayerName: "relu"}
+	in := QTensor{Shape: []int{3}, Data: fixed.Vec{-7, 0, 9}, Fmt: fixed.Q78}
+	out := r.Forward(in)
+	if out.Data[0] != 0 || out.Data[1] != 0 || out.Data[2] != 9 {
+		t.Errorf("relu = %v", out.Data)
+	}
+	// Input must not be mutated.
+	if in.Data[0] != -7 {
+		t.Error("ReLU mutated its input")
+	}
+}
+
+func TestConvIntegerKnownValues(t *testing.T) {
+	// 1x1x2x2 input, 1 channel, 2x2 kernel of ones, no pad: output =
+	// sum of inputs.
+	wf := fixed.Format{Frac: 13}
+	c := &Conv2D{
+		LayerName: "c", InC: 1, OutC: 1, K: 2, Stride: 1, Pad: 0,
+		W:    fixed.Vec{wf.One(), wf.One(), wf.One(), wf.One()},
+		B:    fixed.Vec{0},
+		WFmt: wf, InFmt: fixed.Q78, OutFmt: fixed.Q78,
+	}
+	in := QTensor{Shape: []int{1, 2, 2}, Fmt: fixed.Q78,
+		Data: fixed.Vec{fixed.Q78.FromFloat(0.5), fixed.Q78.FromFloat(0.25),
+			fixed.Q78.FromFloat(0.125), fixed.Q78.FromFloat(0.125)}}
+	out := c.Forward(in)
+	got := fixed.Q78.ToFloat(out.Data[0])
+	if math.Abs(got-1.0) > 2*fixed.Q78.Eps() {
+		t.Errorf("conv sum = %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package report renders plain-text and CSV tables for the cmd tools and
+// the experiment reports.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; cells beyond the header count are kept as-is.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted values: strings pass through, float64
+// are rendered with 4 significant digits, ints plainly.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = Num(v)
+		case int:
+			row[i] = strconv.Itoa(v)
+		case bool:
+			if v {
+				row[i] = "Yes"
+			} else {
+				row[i] = "No"
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Num formats a float with adaptive precision (4 significant digits, no
+// exponent for typical table magnitudes).
+func Num(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case av >= 10:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	case av >= 0.01:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if n := utf8.RuneCountInString(c); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			// Pad by display runes, not bytes (sparklines are
+			// multi-byte but single-column).
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", width[i]+2-utf8.RuneCountInString(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (naive quoting: cells
+// containing commas are double-quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Sparkline renders a float series as a compact unicode sparkline, used to
+// show learning curves in terminal output.
+func Sparkline(series []float64, width int) string {
+	if len(series) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	// Resample to width.
+	pts := make([]float64, width)
+	for i := range pts {
+		pts[i] = series[i*len(series)/width]
+	}
+	lo, hi := pts[0], pts[0]
+	for _, v := range pts {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("title", "a", "bbbb")
+	tb.Add("x", "y")
+	tb.Add("longer", "z")
+	s := tb.String()
+	if !strings.HasPrefix(s, "title\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title, header, rule, 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("%d lines: %q", len(lines), s)
+	}
+	if len(lines[1]) != len(lines[3]) {
+		t.Error("rows must be aligned to equal width")
+	}
+}
+
+func TestAddfFormats(t *testing.T) {
+	tb := New("", "s", "f", "i", "b")
+	tb.Addf("x", 3.14159, 42, true)
+	row := tb.Rows[0]
+	if row[0] != "x" || row[2] != "42" || row[3] != "Yes" {
+		t.Errorf("row = %v", row)
+	}
+	if !strings.HasPrefix(row[1], "3.14") {
+		t.Errorf("float cell = %q", row[1])
+	}
+}
+
+func TestNumRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.56: "1235",
+		12.345:  "12.35",
+		0.5:     "0.500",
+		0.0005:  "0.0005",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x,y", `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Error("comma cell must be quoted")
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Error("quote cell must be escaped")
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Error("header row missing")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline %q has %d runes", s, len([]rune(s)))
+	}
+	rs := []rune(s)
+	if rs[0] != '▁' || rs[7] != '█' {
+		t.Errorf("sparkline %q must rise from lowest to highest", s)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series renders empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2}, 3)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render lowest level, got %q", flat)
+		}
+	}
+}

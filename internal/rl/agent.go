@@ -1,0 +1,219 @@
+package rl
+
+import (
+	"math/rand"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// Options configures an Agent. Zero values select the documented defaults.
+type Options struct {
+	// Gamma is the discount factor of the long-term return (default 0.95).
+	Gamma float64
+	// LR is the SGD learning rate (default 0.005).
+	LR float64
+	// BatchSize is the paper's training batch N (default 4).
+	BatchSize int
+	// ReplayCapacity bounds the experience buffer (default 4096).
+	ReplayCapacity int
+	// EpsStart/EpsEnd/EpsDecaySteps define the linear exploration
+	// schedule (defaults 1.0 -> 0.05 over 3000 steps).
+	EpsStart, EpsEnd float64
+	EpsDecaySteps    int
+	// TargetSync is the interval, in training steps, between copies of
+	// the online network into the frozen TD-target network; 0 disables
+	// the target network and bootstraps from the online one, which is
+	// the paper's plain Eq. (1). The default is 64 — a standard
+	// stabilizer for CNN Q-learning that does not change what is
+	// learned, only the variance of learning.
+	TargetSync int
+	// GradClip bounds the per-batch gradient L-infinity norm (default 1).
+	GradClip float64
+	// DoubleDQN selects actions with the online network but values them
+	// with the target network in the TD bootstrap, reducing the
+	// max-operator's overestimation bias. It requires a target network
+	// (TargetSync > 0) and is off by default — the paper uses the plain
+	// Eq. (1) target.
+	DoubleDQN bool
+	// Seed fixes the agent's private RNG.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Gamma == 0 {
+		o.Gamma = 0.95
+	}
+	if o.LR == 0 {
+		o.LR = 0.005
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 4
+	}
+	if o.ReplayCapacity == 0 {
+		o.ReplayCapacity = 4096
+	}
+	if o.EpsStart == 0 {
+		o.EpsStart = 1.0
+	}
+	if o.EpsEnd == 0 {
+		o.EpsEnd = 0.05
+	}
+	if o.EpsDecaySteps == 0 {
+		o.EpsDecaySteps = 3000
+	}
+	if o.TargetSync == 0 {
+		o.TargetSync = 64
+	}
+	if o.GradClip == 0 {
+		o.GradClip = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Agent is a deep Q-learning agent over a discrete action space.
+type Agent struct {
+	// Net is the online Q-network.
+	Net *nn.Network
+	// Target is the frozen bootstrap network (nil when disabled).
+	Target *nn.Network
+
+	opts       Options
+	actions    int
+	rng        *rand.Rand
+	replay     *ReplayBuffer
+	envSteps   int
+	trainSteps int
+}
+
+// NewAgent builds an agent for the given architecture and training
+// topology. The network is freshly initialized; use Restore/CopyWeightsFrom
+// to install transferred weights.
+func NewAgent(spec nn.ArchSpec, cfg nn.Config, opts Options) *Agent {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	net := spec.Build()
+	net.Init(rng)
+	net.SetConfig(cfg)
+	a := &Agent{
+		Net:     net,
+		opts:    opts,
+		actions: spec.FCs[len(spec.FCs)-1].Out,
+		rng:     rng,
+		replay:  NewReplayBuffer(opts.ReplayCapacity),
+	}
+	if opts.TargetSync > 0 {
+		a.Target = spec.Build()
+		a.syncTarget()
+	}
+	return a
+}
+
+// SetConfig re-freezes the network to a different topology (used when the
+// same transferred weights are evaluated under L2/L3/L4/E2E).
+func (a *Agent) SetConfig(cfg nn.Config) { a.Net.SetConfig(cfg) }
+
+func (a *Agent) syncTarget() {
+	if a.Target == nil {
+		return
+	}
+	if err := a.Target.CopyWeightsFrom(a.Net); err != nil {
+		panic("rl: target network architecture diverged: " + err.Error())
+	}
+}
+
+// Epsilon returns the current exploration rate under the linear schedule.
+func (a *Agent) Epsilon() float64 {
+	o := a.opts
+	if a.envSteps >= o.EpsDecaySteps {
+		return o.EpsEnd
+	}
+	frac := float64(a.envSteps) / float64(o.EpsDecaySteps)
+	return o.EpsStart + (o.EpsEnd-o.EpsStart)*frac
+}
+
+// SelectAction picks an epsilon-greedy action for the observation and
+// advances the exploration schedule.
+func (a *Agent) SelectAction(obs *tensor.Tensor) int {
+	a.envSteps++
+	if a.rng.Float64() < a.Epsilon() {
+		return a.rng.Intn(a.actions)
+	}
+	return a.Greedy(obs)
+}
+
+// Greedy returns argmax_a Q(obs, a) without exploration.
+func (a *Agent) Greedy(obs *tensor.Tensor) int {
+	q := a.Net.Forward(obs.Clone())
+	return q.ArgMax()
+}
+
+// QValues returns the Q-vector for an observation.
+func (a *Agent) QValues(obs *tensor.Tensor) []float32 {
+	q := a.Net.Forward(obs.Clone())
+	return append([]float32(nil), q.Data()...)
+}
+
+// Observe stores a transition in the replay buffer.
+func (a *Agent) Observe(t Transition) { a.replay.Push(t) }
+
+// ReplayLen returns the number of buffered transitions.
+func (a *Agent) ReplayLen() int { return a.replay.Len() }
+
+// TrainStep runs one training iteration: N sampled transitions are pushed
+// through forward + backward serially, accumulating gradients, followed by
+// a single weight update — exactly the batch procedure of Fig. 3(b). It
+// returns the mean squared TD error, or -1 when the buffer is still
+// shorter than the batch.
+func (a *Agent) TrainStep() float64 {
+	o := a.opts
+	if a.replay.Len() < o.BatchSize {
+		return -1
+	}
+	batch := a.replay.Sample(o.BatchSize, a.rng)
+	bootstrap := a.Net
+	if a.Target != nil {
+		bootstrap = a.Target
+	}
+	var mse float64
+	for _, tr := range batch {
+		// TD target: r, plus the discounted bootstrap when the episode
+		// continues (Eq. (1) of the paper). Under DoubleDQN the online
+		// network chooses the bootstrap action and the target network
+		// prices it.
+		target := tr.Reward
+		if !tr.Done {
+			qn := bootstrap.Forward(tr.Next.Clone())
+			if o.DoubleDQN && a.Target != nil {
+				sel := a.Net.Forward(tr.Next.Clone()).ArgMax()
+				target += o.Gamma * float64(qn.At(sel))
+			} else {
+				target += o.Gamma * float64(qn.Max())
+			}
+		}
+		q := a.Net.Forward(tr.State.Clone())
+		td := float64(q.At(tr.Action)) - target
+		mse += td * td
+		grad := tensor.New(a.actions)
+		grad.Set(float32(td), tr.Action)
+		a.Net.Backward(grad)
+	}
+	a.Net.ClipGrad(o.GradClip)
+	a.Net.Step(o.LR, o.BatchSize)
+	a.trainSteps++
+	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {
+		a.syncTarget()
+	}
+	return mse / float64(o.BatchSize)
+}
+
+// TrainSteps returns the number of completed weight updates.
+func (a *Agent) TrainSteps() int { return a.trainSteps }
+
+// EnvSteps returns the number of actions selected so far.
+func (a *Agent) EnvSteps() int { return a.envSteps }
+
+// BatchSize exposes the configured training batch.
+func (a *Agent) BatchSize() int { return a.opts.BatchSize }

@@ -1,0 +1,78 @@
+// Package rl implements the online Q-learning loop of the paper: an
+// epsilon-greedy agent whose Q-function is a CNN (internal/nn), trained on
+// (s_t, a_t, s_t+1, r_t) tuples with the Bellman target of Eq. (1),
+// Q(s,a) = r + gamma * max_a' Q(s',a'). Gradients for a batch of N serially
+// processed samples are accumulated and applied in one update, matching the
+// accelerator's training iteration of Fig. 3(b).
+package rl
+
+import (
+	"math/rand"
+
+	"dronerl/internal/tensor"
+)
+
+// Transition is one experience tuple (s_t, a_t, r_t, s_t+1, done).
+type Transition struct {
+	State  *tensor.Tensor
+	Action int
+	Reward float64
+	Next   *tensor.Tensor
+	Done   bool
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions with uniform
+// sampling.
+type ReplayBuffer struct {
+	buf  []Transition
+	next int
+	size int
+}
+
+// NewReplayBuffer creates a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic("rl: replay capacity must be positive")
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity)}
+}
+
+// Push inserts a transition, evicting the oldest once full.
+func (r *ReplayBuffer) Push(t Transition) {
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *ReplayBuffer) Len() int { return r.size }
+
+// Cap returns the buffer capacity.
+func (r *ReplayBuffer) Cap() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement. It panics if the
+// buffer is empty.
+func (r *ReplayBuffer) Sample(n int, rng *rand.Rand) []Transition {
+	if r.size == 0 {
+		panic("rl: sampling from empty replay buffer")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(r.size)]
+	}
+	return out
+}
+
+// Latest returns the most recently pushed transition. It panics if empty.
+func (r *ReplayBuffer) Latest() Transition {
+	if r.size == 0 {
+		panic("rl: Latest on empty replay buffer")
+	}
+	idx := r.next - 1
+	if idx < 0 {
+		idx = len(r.buf) - 1
+	}
+	return r.buf[idx]
+}

@@ -1,0 +1,88 @@
+package rl
+
+import (
+	"dronerl/internal/env"
+	"dronerl/internal/metrics"
+	"dronerl/internal/tensor"
+)
+
+// Trainer couples an Agent to a World and runs the paper's online loop:
+// sense depth, act, collect reward, learn every few frames.
+type Trainer struct {
+	World *env.World
+	Agent *Agent
+	// Tracker accumulates the Fig. 10/11 statistics.
+	Tracker *metrics.FlightTracker
+	// TrainEvery runs one TrainStep every k environment steps
+	// (default 4; the drone trains at the frame rate the hardware can
+	// sustain, not necessarily on every frame).
+	TrainEvery int
+}
+
+// NewTrainer wires a trainer with a tracker sized for runs of the given
+// iteration count (smoothing windows scale with the run length, as the
+// paper's 15000-sample window does for 60k-iteration runs).
+func NewTrainer(w *env.World, a *Agent, iterations int) *Trainer {
+	cumWindow := iterations / 4
+	if cumWindow < 10 {
+		cumWindow = 10
+	}
+	return &Trainer{
+		World:      w,
+		Agent:      a,
+		Tracker:    metrics.NewFlightTracker(cumWindow, 10, maxInt(1, iterations/200)),
+		TrainEvery: 4,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// observation renders the CNN input for the world's current pose.
+func (t *Trainer) observation() *tensor.Tensor {
+	return env.DepthImage(t.World.Depths(), t.World.Camera.MaxRange)
+}
+
+// Run executes the online loop for the given number of iterations and
+// returns the tracker.
+func (t *Trainer) Run(iterations int) *metrics.FlightTracker {
+	obs := t.observation()
+	for i := 0; i < iterations; i++ {
+		action := t.Agent.SelectAction(obs)
+		res := t.World.Step(env.Action(action))
+		next := env.DepthImage(res.Depths, t.World.Camera.MaxRange)
+		t.Agent.Observe(Transition{
+			State:  obs,
+			Action: action,
+			Reward: res.Reward,
+			Next:   next,
+			Done:   res.Crashed,
+		})
+		t.Tracker.Step(res.Reward, res.Crashed, res.FlightDistance)
+		if t.TrainEvery > 0 && i%t.TrainEvery == 0 {
+			t.Agent.TrainStep()
+		}
+		obs = next
+	}
+	return t.Tracker
+}
+
+// Evaluate freezes learning and exploration and flies greedily for the
+// given number of steps, returning a fresh tracker with the resulting
+// statistics. This is how the final safe-flight-distance comparison
+// (Fig. 11) is measured.
+func (t *Trainer) Evaluate(steps int) *metrics.FlightTracker {
+	tracker := metrics.NewFlightTracker(maxInt(10, steps/4), 10, maxInt(1, steps/200))
+	obs := t.observation()
+	for i := 0; i < steps; i++ {
+		action := t.Agent.Greedy(obs)
+		res := t.World.Step(env.Action(action))
+		tracker.Step(res.Reward, res.Crashed, res.FlightDistance)
+		obs = env.DepthImage(res.Depths, t.World.Camera.MaxRange)
+	}
+	return tracker
+}

@@ -1,0 +1,63 @@
+package systolic
+
+import (
+	"dronerl/internal/tensor"
+)
+
+// GEMM-based convolution backpropagation on the PE array (paper Section
+// V.B): "we use GEMM, where the system first reads the data ... and
+// expands the inputs to each CONV layers in a 2D matrix. Once the
+// expansion is complete, the backpropagation of CONV becomes same as the
+// backpropagation of FC layers."
+//
+// Both gradients reduce to the FC dataflows already implemented:
+//
+//	dW = dOut_2d x im2col(input)      (outer-product accumulation, Fig. 8)
+//	dX = col2im(dOut_2d^T x W_2d)     (vector-transposed-matrix, Fig. 8)
+
+// ConvBackwardGEMM computes the weight gradient and input gradient of a
+// convolution through the GEMM formulation, tallying the staged traffic.
+// in is the layer input (CHW), w the filters (OutC, InC, K, K), grad the
+// output gradient (OutC, OutH, OutW). Returned shapes: dW like w flattened
+// to (OutC, InC*K*K), dX like in.
+func (a *Array) ConvBackwardGEMM(in, w, grad *tensor.Tensor, shape ConvShape) (dW, dX *tensor.Tensor) {
+	outH, outW := shape.OutH(), shape.OutW()
+	np := outH * outW
+	colw := shape.InC * shape.K * shape.K
+
+	// Stage 1: expand the input; the expansion matrix streams through
+	// the global buffer (write + read).
+	cols := tensor.Im2Col(in, shape.K, shape.K, shape.Stride, shape.Pad)
+	a.Counters.GBWriteWords += int64(cols.Len())
+	a.Counters.GBReadWords += int64(cols.Len())
+
+	// Stage 2: dW[oc] = sum_p grad[oc,p] * cols[p] — one outer-product
+	// accumulation per output position, exactly the FC weight-gradient
+	// dataflow.
+	dW = tensor.New(shape.OutC, colw)
+	gd := grad.Data()
+	for p := 0; p < np; p++ {
+		gvec := make([]float32, shape.OutC)
+		for oc := 0; oc < shape.OutC; oc++ {
+			gvec[oc] = gd[oc*np+p]
+		}
+		patch := cols.Data()[p*colw : (p+1)*colw]
+		a.FCOuter(dW, gvec, patch)
+	}
+
+	// Stage 3: dCols[p] = W_2d^T x grad[:,p] — the transposed-matrix
+	// dataflow per position — then fold back with col2im.
+	w2d := w.Reshape(shape.OutC, colw)
+	dcols := tensor.New(np, colw)
+	for p := 0; p < np; p++ {
+		gvec := make([]float32, shape.OutC)
+		for oc := 0; oc < shape.OutC; oc++ {
+			gvec[oc] = gd[oc*np+p]
+		}
+		row := a.FCTransposed(w2d, gvec)
+		copy(dcols.Data()[p*colw:(p+1)*colw], row)
+	}
+	a.Counters.GBWriteWords += int64(dcols.Len())
+	dX = tensor.Col2Im(dcols, shape.InC, shape.InH, shape.InW, shape.K, shape.K, shape.Stride, shape.Pad)
+	return dW, dX
+}

@@ -1,0 +1,48 @@
+package systolic
+
+// SimulateConv steps one forward convolution through its row-stationary
+// mapping pass by pass, serializing each pass's phases the way the
+// accelerator does: filter rows broadcast from the global buffer, image
+// rows distributed into the register files, row convolutions in the MAC
+// units, and the vertical (plus cross-set) partial-sum drain. It returns
+// cycle statistics — the utilization picture behind the streaming-bound
+// conv latencies of Fig. 12(a).
+func (a *Array) SimulateConv(shape ConvShape) CycleStats {
+	m := PlanConv(a.Cfg, shape)
+	tr := m.Traffic(shape)
+	passes := int64(m.Passes())
+	if passes < 1 {
+		passes = 1
+	}
+
+	var stats CycleStats
+	stats.ActivePEs = m.ActivePEs
+
+	// Per-pass phase lengths (words stream at one per cycle on the
+	// broadcast bus, the calibration of internal/hw).
+	filterLoad := tr.WeightWords / passes
+	imgLoad := tr.InputWords / passes
+	macsPerPass := shape.MACs() / passes
+	computePerPE := macsPerPass / int64(m.ActivePEs*a.Cfg.MACsPerPE)
+	if computePerPE < 1 {
+		computePerPE = 1
+	}
+	drain := int64(m.SegRows - 1)
+	if m.Sets > 1 {
+		drain += int64(m.SegCols)
+	}
+
+	for p := int64(0); p < passes; p++ {
+		stats.Cycles += filterLoad + imgLoad + computePerPE + drain
+		stats.BusyPECycles += computePerPE * int64(m.ActivePEs)
+		stats.MACs += macsPerPass
+	}
+	// Distribute the integer-division remainder of the MAC count.
+	stats.MACs += shape.MACs() - macsPerPass*passes
+	return stats
+}
+
+// SimulateConvLatencyNS converts a SimulateConv run to nanoseconds.
+func (a *Array) SimulateConvLatencyNS(shape ConvShape) float64 {
+	return a.Cfg.CyclesToNS(float64(a.SimulateConv(shape).Cycles))
+}

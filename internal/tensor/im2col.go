@@ -1,0 +1,81 @@
+package tensor
+
+// Im2Col expands a CHW input tensor into the 2-D matrix used by GEMM-based
+// convolution: each output row corresponds to one (oy, ox) output position
+// and holds the kh*kw*c input patch feeding it, with zero padding applied.
+// The paper uses this expansion for CONV-layer backpropagation (Section V.B,
+// "we use GEMM [16] ... and expands the inputs to each CONV layers in a 2D
+// matrix").
+func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
+	if in.Rank() != 3 {
+		panic("tensor: Im2Col requires a CHW rank-3 tensor")
+	}
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	out := New(oh*ow, c*kh*kw)
+	od := out.data
+	id := in.data
+	colw := c * kh * kw
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := od[(oy*ow+ox)*colw : (oy*ow+ox+1)*colw]
+			p := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							row[p] = id[base+iy*w+ix]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters the gradient of an im2col matrix back into a CHW input
+// gradient, summing overlapping contributions. It is the adjoint of Im2Col
+// and implements dL/dInput for GEMM-based convolution backprop.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	colw := c * kh * kw
+	if cols.Rank() != 2 || cols.Dim(0) != oh*ow || cols.Dim(1) != colw {
+		panic("tensor: Col2Im shape mismatch")
+	}
+	out := New(c, h, w)
+	od := out.data
+	cd := cols.data
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cd[(oy*ow+ox)*colw : (oy*ow+ox+1)*colw]
+			p := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							od[base+iy*w+ix] += row[p]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvOutDim returns the spatial output size of a convolution with the given
+// input size, kernel, stride and padding.
+func ConvOutDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

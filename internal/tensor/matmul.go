@@ -1,0 +1,98 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A x B for 2-D tensors A (m x k) and B (k x n),
+// writing into a freshly allocated m x n tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A x v for a 2-D tensor A (m x k) and a length-k
+// vector, returning a length-m vector.
+func MatVec(a *Tensor, v []float32) []float32 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires a rank-2 tensor")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if len(v) != k {
+		panic(fmt.Sprintf("tensor: MatVec length mismatch %d vs %d", len(v), k))
+	}
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var s float32
+		for j, w := range row {
+			s += w * v[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MatVecT computes y = A^T x v for a 2-D tensor A (m x k) and a length-m
+// vector, returning a length-k vector. This is the vector-transposed-matrix
+// product the PE array performs during FC backpropagation (paper Fig. 8)
+// without materializing the transpose.
+func MatVecT(a *Tensor, v []float32) []float32 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVecT requires a rank-2 tensor")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if len(v) != m {
+		panic(fmt.Sprintf("tensor: MatVecT length mismatch %d vs %d", len(v), m))
+	}
+	y := make([]float32, k)
+	for i := 0; i < m; i++ {
+		s := v[i]
+		if s == 0 {
+			continue
+		}
+		row := a.data[i*k : (i+1)*k]
+		for j, w := range row {
+			y[j] += s * w
+		}
+	}
+	return y
+}
+
+// Outer accumulates the outer product dst += a ⊗ b where dst is len(a) x
+// len(b). This is the weight-gradient primitive of FC backpropagation.
+func Outer(dst *Tensor, a, b []float32) {
+	if dst.Rank() != 2 || dst.Dim(0) != len(a) || dst.Dim(1) != len(b) {
+		panic("tensor: Outer shape mismatch")
+	}
+	n := len(b)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := dst.data[i*n : (i+1)*n]
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
