@@ -240,6 +240,162 @@ func BenchmarkAblationStereoNoise(b *testing.B) {
 	}
 }
 
+// --- GEMM-path and experiment-engine benchmarks -------------------------
+//
+// The "Naive" variants reproduce the seed implementation's loops so the
+// before/after comparison stays runnable:
+//
+//	go test -bench='ConvForward|GEMM|FlightEngine' -benchtime=1x
+//
+// The GEMM kernels promise bit-identical outputs (see internal/tensor), so
+// these measure pure speed, not accuracy trade-offs.
+
+// alexConv2 builds the AlexNet-sized CONV2 workload (96 -> 256 channels,
+// 5x5 kernel on 27x27 inputs) used as the conv benchmark.
+func alexConv2() (*nn.Conv2D, *tensor.Tensor) {
+	c := nn.NewConv2D("CONV2", 96, 256, 5, 5, 1, 2)
+	in := tensor.New(96, 27, 27)
+	fill := func(d []float32) {
+		for i := range d {
+			d[i] = float32(i%17) * 0.125
+		}
+	}
+	fill(c.Weight.W.Data())
+	fill(c.Bias.W.Data())
+	fill(in.Data())
+	return c, in
+}
+
+// naiveConvForward is the seed's nested-loop Conv2D.Forward: one dot product
+// per (patch, output channel) pair with no blocking or parallelism.
+func naiveConvForward(c *nn.Conv2D, in *tensor.Tensor) *tensor.Tensor {
+	h, w := in.Dim(1), in.Dim(2)
+	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.Pad)
+	cols := tensor.Im2Col(in, c.KH, c.KW, c.Stride, c.Pad)
+	out := tensor.New(c.OutC, oh, ow)
+	od := out.Data()
+	wd := c.Weight.W
+	bd := c.Bias.W.Data()
+	np := oh * ow
+	for p := 0; p < np; p++ {
+		patch := cols.Data()[p*cols.Dim(1) : (p+1)*cols.Dim(1)]
+		for oc := 0; oc < c.OutC; oc++ {
+			row := wd.Data()[oc*wd.Dim(1) : (oc+1)*wd.Dim(1)]
+			var s float32
+			for k, v := range patch {
+				s += row[k] * v
+			}
+			od[oc*np+p] = s + bd[oc]
+		}
+	}
+	return out
+}
+
+func convGFLOPS(b *testing.B, c *nn.Conv2D, oh, ow int, elapsed float64) {
+	macs := float64(c.OutC) * float64(oh*ow) * float64(c.InC*c.KH*c.KW)
+	b.ReportMetric(2*macs*float64(b.N)/elapsed/1e9, "gflops")
+}
+
+// BenchmarkConvForwardNaive is the "before" baseline of the GEMM rewrite.
+func BenchmarkConvForwardNaive(b *testing.B) {
+	c, in := alexConv2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveConvForward(c, in)
+	}
+	convGFLOPS(b, c, 27, 27, b.Elapsed().Seconds())
+}
+
+// BenchmarkConvForwardGEMM measures the blocked, register-tiled GEMM path
+// (Conv2D.Forward). Acceptance target: >= 2x over BenchmarkConvForwardNaive.
+func BenchmarkConvForwardGEMM(b *testing.B) {
+	c, in := alexConv2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(in)
+	}
+	convGFLOPS(b, c, 27, 27, b.Elapsed().Seconds())
+}
+
+// naiveMatMul is the seed's ikj MatMul loop without cache blocking.
+func naiveMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := tensor.New(m, n)
+	ad, bd, cd := a.Data(), b.Data(), c.Data()
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// gemmOperands builds the CONV3-shaped GEMM (384 x 2304 times 2304 x 729).
+func gemmOperands() (*tensor.Tensor, *tensor.Tensor) {
+	a := tensor.New(384, 2304)
+	bm := tensor.New(2304, 729)
+	for i, d := range [][]float32{a.Data(), bm.Data()} {
+		for j := range d {
+			d[j] = float32((i+j)%13) * 0.25
+		}
+	}
+	return a, bm
+}
+
+// BenchmarkGEMMNaive is the unblocked "before" matrix multiply.
+func BenchmarkGEMMNaive(b *testing.B) {
+	x, y := gemmOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveMatMul(x, y)
+	}
+}
+
+// BenchmarkGEMMBlocked is the cache-blocked, goroutine-parallel tensor.MatMul.
+func BenchmarkGEMMBlocked(b *testing.B) {
+	x, y := gemmOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// flightBenchScale is a reduced Fig. 10/11 budget for engine benchmarks.
+func flightBenchScale(workers int) core.FlightScale {
+	return core.FlightScale{MetaIters: 60, OnlineIters: 60, EvalSteps: 60, Seed: 7, Workers: workers}
+}
+
+// BenchmarkFlightEngineSerial runs the experiment on the serial schedule
+// (Workers = 1).
+func BenchmarkFlightEngineSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFlightExperiment(flightBenchScale(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlightEngineParallel runs the identical experiment fanned across
+// GOMAXPROCS workers; by the engine's determinism contract it produces
+// bit-identical metrics, so the delta vs BenchmarkFlightEngineSerial is pure
+// scheduling gain (1x on a single-core runner, ~Nx on N cores).
+func BenchmarkFlightEngineParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFlightExperiment(flightBenchScale(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNavNetForward measures the software CNN's inference throughput
 // (the quantity the PE array accelerates in hardware).
 func BenchmarkNavNetForward(b *testing.B) {

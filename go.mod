@@ -1,0 +1,3 @@
+module dronerl
+
+go 1.24

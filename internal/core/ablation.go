@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"dronerl/internal/env"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
@@ -30,68 +28,51 @@ type RicherMetaResult struct {
 // over seedRepeats agents.
 func RunRicherMetaAblation(scale FlightScale) (RicherMetaResult, error) {
 	spec := nn.NavNetSpec()
-	metas := map[string]*env.World{
-		"standard": env.OutdoorMeta(scale.Seed + 200),
-		"rich":     env.OutdoorMetaRich(scale.Seed + 200),
+	pool := scale.engine()
+	metas := []*env.World{
+		env.OutdoorMeta(scale.Seed + 200),     // standard
+		env.OutdoorMetaRich(scale.Seed + 200), // rich
 	}
-	snaps := map[string]*nn.Snapshot{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for name, meta := range metas {
-		wg.Add(1)
-		go func(name string, meta *env.World) {
-			defer wg.Done()
-			snap, _ := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
-				Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
-			})
-			mu.Lock()
-			snaps[name] = snap
-			mu.Unlock()
-		}(name, meta)
-	}
-	wg.Wait()
+	snaps := make([]*nn.Snapshot, len(metas))
+	pool.ForEach(len(metas), func(k int) {
+		snaps[k], _ = transfer.MetaTrain(metas[k], spec, scale.MetaIters, rl.Options{
+			Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
+		})
+	})
 
-	sfds := map[string]float64{}
-	var firstErr error
-	for name := range metas {
-		var total float64
-		var twg sync.WaitGroup
-		results := make([]float64, seedRepeats)
-		errs := make([]error, seedRepeats)
-		for r := 0; r < seedRepeats; r++ {
-			twg.Add(1)
-			go func(name string, r int) {
-				defer twg.Done()
-				town := env.OutdoorTown(scale.Seed + 4)
-				agent, err := transfer.Deploy(snaps[name], spec, nn.L3, rl.Options{
-					Seed: scale.Seed + 50 + int64(r), BatchSize: 4,
-					EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
-				})
-				if err != nil {
-					errs[r] = err
-					return
-				}
-				trainer := rl.NewTrainer(town, agent, scale.OnlineIters)
-				trainer.Run(scale.OnlineIters)
-				sfd, _ := evaluateSFD(town, agent, scale, 400+r)
-				results[r] = sfd
-			}(name, r)
+	// One job per (meta, repeat) cell; seeds depend only on the repeat
+	// index, mirroring the flight engine's per-job derivation.
+	results := make([]float64, len(metas)*seedRepeats)
+	err := pool.ForEachErr(len(results), func(idx int) error {
+		k, r := idx/seedRepeats, idx%seedRepeats
+		town := env.OutdoorTown(scale.Seed + 4)
+		agent, err := transfer.Deploy(snaps[k], spec, nn.L3, rl.Options{
+			Seed: scale.Seed + 50 + int64(r), BatchSize: 4,
+			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
+		})
+		if err != nil {
+			return err
 		}
-		twg.Wait()
-		for r := 0; r < seedRepeats; r++ {
-			if errs[r] != nil && firstErr == nil {
-				firstErr = errs[r]
-			}
-			total += results[r]
-		}
-		sfds[name] = total / seedRepeats
+		trainer := rl.NewTrainer(town, agent, scale.OnlineIters)
+		trainer.Run(scale.OnlineIters)
+		sfd, _ := evaluateSFD(town, agent, scale, 400+r)
+		results[idx] = sfd
+		return nil
+	})
+	if err != nil {
+		return RicherMetaResult{}, err
 	}
-	if firstErr != nil {
-		return RicherMetaResult{}, firstErr
+	sfds := make([]float64, len(metas))
+	for k := range metas {
+		var total float64
+		for r := 0; r < seedRepeats; r++ {
+			total += results[k*seedRepeats+r]
+		}
+		sfds[k] = total / seedRepeats
 	}
 	res := RicherMetaResult{
-		TownSFDStandard: sfds["standard"],
-		TownSFDRich:     sfds["rich"],
+		TownSFDStandard: sfds[0],
+		TownSFDRich:     sfds[1],
 	}
 	if res.TownSFDStandard > 0 {
 		res.ImprovementPct = 100 * (res.TownSFDRich/res.TownSFDStandard - 1)
@@ -110,8 +91,9 @@ type StereoAblationResult struct {
 // with the stereo noise model, once with ideal ray-cast depth.
 func RunStereoAblation(scale FlightScale) (StereoAblationResult, error) {
 	spec := nn.NavNetSpec()
-	var res StereoAblationResult
-	for _, ideal := range []bool{true, false} {
+	sfds := make([]float64, 2)
+	err := scale.engine().ForEachErr(len(sfds), func(k int) error {
+		ideal := k == 0
 		meta := env.IndoorMeta(scale.Seed + 100)
 		if ideal {
 			meta.Stereo = nil
@@ -128,16 +110,12 @@ func RunStereoAblation(scale FlightScale) (StereoAblationResult, error) {
 			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		trainer := rl.NewTrainer(world, agent, scale.OnlineIters)
 		trainer.Run(scale.OnlineIters)
-		sfd, _ := evaluateSFD(world, agent, scale, 500)
-		if ideal {
-			res.SFDIdeal = sfd
-		} else {
-			res.SFDStereo = sfd
-		}
-	}
-	return res, nil
+		sfds[k], _ = evaluateSFD(world, agent, scale, 500)
+		return nil
+	})
+	return StereoAblationResult{SFDIdeal: sfds[0], SFDStereo: sfds[1]}, err
 }

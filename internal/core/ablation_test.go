@@ -2,9 +2,17 @@ package core
 
 import "testing"
 
+// ablationScale shrinks in short mode; the assertions only need SFDs to be
+// positive, which holds at any budget.
+func ablationScale(seed int64) FlightScale {
+	if testing.Short() {
+		return FlightScale{MetaIters: 12, OnlineIters: 12, EvalSteps: 12, Seed: seed}
+	}
+	return FlightScale{MetaIters: 120, OnlineIters: 100, EvalSteps: 120, Seed: seed}
+}
+
 func TestRicherMetaAblationRuns(t *testing.T) {
-	scale := FlightScale{MetaIters: 120, OnlineIters: 100, EvalSteps: 120, Seed: 5}
-	res, err := RunRicherMetaAblation(scale)
+	res, err := RunRicherMetaAblation(ablationScale(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -14,8 +22,7 @@ func TestRicherMetaAblationRuns(t *testing.T) {
 }
 
 func TestStereoAblationRuns(t *testing.T) {
-	scale := FlightScale{MetaIters: 120, OnlineIters: 100, EvalSteps: 120, Seed: 6}
-	res, err := RunStereoAblation(scale)
+	res, err := RunStereoAblation(ablationScale(6))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"dronerl/internal/env"
 	"dronerl/internal/metrics"
@@ -29,7 +28,16 @@ type FlightScale struct {
 	EvalSteps int
 	// Seed drives every RNG in the experiment.
 	Seed int64
+	// Workers bounds the experiment engine's concurrency: 0 selects
+	// GOMAXPROCS, 1 forces the serial schedule. Every run derives its RNGs
+	// from its own indices, so the results are bit-identical for every
+	// worker count (asserted by TestParallelEngineMatchesSerial).
+	Workers int
 }
+
+// engine returns the worker pool that schedules this experiment's
+// independent runs.
+func (s FlightScale) engine() rl.Pool { return rl.Pool{Workers: s.Workers} }
 
 // FullScale returns the budget used by cmd/figures for the published
 // curves.
@@ -90,88 +98,75 @@ type FlightReport struct {
 func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
 	spec := nn.NavNetSpec()
 	rep := &FlightReport{Scale: scale, MetaTrackers: map[string]*metrics.FlightTracker{}}
+	pool := scale.engine()
 
-	// The two meta trainings and the sixteen (environment, topology)
-	// online runs are mutually independent; run them concurrently. Each
-	// run owns its world and RNGs, so results are identical to the
-	// sequential schedule.
+	// Phase 1: the two meta trainings are independent; fan them across the
+	// pool. Each job owns its world and RNGs and writes only its own slot.
+	kinds := []string{"indoor", "outdoor"}
+	snaps := make([]*nn.Snapshot, len(kinds))
+	trackers := make([]*metrics.FlightTracker, len(kinds))
+	pool.ForEach(len(kinds), func(k int) {
+		var meta *env.World
+		if kinds[k] == "indoor" {
+			meta = env.IndoorMeta(scale.Seed + 100)
+		} else {
+			meta = env.OutdoorMeta(scale.Seed + 200)
+		}
+		snaps[k], trackers[k] = transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
+			Seed: scale.Seed + 1, BatchSize: 4,
+			EpsDecaySteps: scale.MetaIters / 2,
+		})
+	})
 	snapshots := map[string]*nn.Snapshot{}
-	var metaMu sync.Mutex
-	var metaWG sync.WaitGroup
-	for _, kind := range []string{"indoor", "outdoor"} {
-		metaWG.Add(1)
-		go func(kind string) {
-			defer metaWG.Done()
-			var meta *env.World
-			if kind == "indoor" {
-				meta = env.IndoorMeta(scale.Seed + 100)
-			} else {
-				meta = env.OutdoorMeta(scale.Seed + 200)
-			}
-			snap, tracker := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
-				Seed: scale.Seed + 1, BatchSize: 4,
-				EpsDecaySteps: scale.MetaIters / 2,
-			})
-			metaMu.Lock()
-			snapshots[kind] = snap
-			rep.MetaTrackers[kind] = tracker
-			metaMu.Unlock()
-		}(kind)
+	for k, kind := range kinds {
+		snapshots[kind] = snaps[k]
+		rep.MetaTrackers[kind] = trackers[k]
 	}
-	metaWG.Wait()
 
-	// The 4 envs x 4 topologies x seedRepeats online runs are mutually
-	// independent; run them concurrently. Each goroutine owns its world
-	// and RNGs, so the results are identical to a sequential schedule.
+	// Phase 2: the 4 envs x 4 topologies x seedRepeats online runs are
+	// mutually independent. Flatten them into one job list and fan it across
+	// the pool; every run derives its seeds from its (i, ci, r) indices, so
+	// the schedule cannot influence the outcome.
 	tests := env.TestEnvironments(scale.Seed)
 	type cell struct {
 		run ConfigRun
 		err error
 	}
-	cells := make([][][]cell, len(tests))
-	var wg sync.WaitGroup
-	for i := range tests {
-		cells[i] = make([][]cell, len(nn.Configs))
-		for ci := range nn.Configs {
-			cells[i][ci] = make([]cell, seedRepeats)
-			for r := 0; r < seedRepeats; r++ {
-				wg.Add(1)
-				go func(i, ci, r int, kind string) {
-					defer wg.Done()
-					cfg := nn.Configs[ci]
-					// Fresh world per run so every topology faces the
-					// same layout.
-					w := env.TestEnvironments(scale.Seed)[i]
-					agent, err := transfer.Deploy(snapshots[kind], spec, cfg, rl.Options{
-						Seed: scale.Seed + 10 + int64(cfg) + int64(100*r), BatchSize: 4,
-						// Online exploration restarts from a lower
-						// epsilon and learning rate: the transferred
-						// model already avoids obstacles and only
-						// fine-tunes.
-						EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2,
-						LR: 0.001,
-					})
-					if err != nil {
-						cells[i][ci][r].err = fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
-						return
-					}
-					w.Seed(scale.Seed + int64(31*r+i))
-					w.Spawn()
-					trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
-					training := trainer.Run(scale.OnlineIters)
-					sfd, crashes := evaluateSFD(w, agent, scale, i+100*r)
-					cells[i][ci][r].run = ConfigRun{
-						Config:       cfg,
-						RewardSeries: training.RewardSeries(),
-						ReturnSeries: training.ReturnSeries(),
-						SFD:          sfd,
-						Crashes:      crashes,
-					}
-				}(i, ci, r, tests[i].Kind)
-			}
+	nc, nr := len(nn.Configs), seedRepeats
+	cells := make([]cell, len(tests)*nc*nr)
+	pool.ForEach(len(cells), func(idx int) {
+		i := idx / (nc * nr)
+		ci := idx / nr % nc
+		r := idx % nr
+		kind := tests[i].Kind
+		cfg := nn.Configs[ci]
+		// Fresh world per run so every topology faces the same layout.
+		w := env.TestEnvironment(scale.Seed, i)
+		agent, err := transfer.Deploy(snapshots[kind], spec, cfg, rl.Options{
+			Seed: scale.Seed + 10 + int64(cfg) + int64(100*r), BatchSize: 4,
+			// Online exploration restarts from a lower epsilon and
+			// learning rate: the transferred model already avoids
+			// obstacles and only fine-tunes.
+			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2,
+			LR: 0.001,
+		})
+		if err != nil {
+			cells[idx].err = fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
+			return
 		}
-	}
-	wg.Wait()
+		w.Seed(scale.Seed + int64(31*r+i))
+		w.Spawn()
+		trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
+		training := trainer.Run(scale.OnlineIters)
+		sfd, crashes := evaluateSFD(w, agent, scale, i+100*r)
+		cells[idx].run = ConfigRun{
+			Config:       cfg,
+			RewardSeries: training.RewardSeries(),
+			ReturnSeries: training.ReturnSeries(),
+			SFD:          sfd,
+			Crashes:      crashes,
+		}
+	})
 
 	for i, test := range tests {
 		er := EnvReport{Env: test.Name, Kind: test.Kind}
@@ -181,7 +176,7 @@ func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
 			// seed's learning curves for the Fig. 10 plot.
 			agg := ConfigRun{Config: cfg}
 			for r := 0; r < seedRepeats; r++ {
-				c := cells[i][ci][r]
+				c := cells[(i*nc+ci)*nr+r]
 				if c.err != nil {
 					return nil, c.err
 				}

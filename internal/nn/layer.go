@@ -101,20 +101,20 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	} else {
 		c.lastCols = cols
 	}
-	out := tensor.New(c.OutC, oh, ow)
-	od := out.Data()
-	wd := c.Weight.W
-	bd := c.Bias.W.Data()
+	// GEMM formulation: out (OutC x np) = W (OutC x colw) x cols^T, with the
+	// bias added afterwards. The kernel is cache-blocked and fans across
+	// goroutines on large layers while keeping each output's accumulation
+	// order identical to the per-patch dot-product loop it replaced.
 	np := oh * ow
-	for p := 0; p < np; p++ {
-		patch := cols.Data()[p*cols.Dim(1) : (p+1)*cols.Dim(1)]
-		for oc := 0; oc < c.OutC; oc++ {
-			row := wd.Data()[oc*wd.Dim(1) : (oc+1)*wd.Dim(1)]
-			var s float32
-			for k, v := range patch {
-				s += row[k] * v
-			}
-			od[oc*np+p] = s + bd[oc]
+	out := tensor.New(c.OutC, oh, ow)
+	tensor.MatMulNTInto(out.Reshape(c.OutC, np), c.Weight.W, cols)
+	od := out.Data()
+	bd := c.Bias.W.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		row := od[oc*np : (oc+1)*np]
+		b := bd[oc]
+		for p := range row {
+			row[p] += b
 		}
 	}
 	return out
@@ -132,44 +132,23 @@ func (c *Conv2D) Backward(grad *tensor.Tensor, needInputGrad bool) *tensor.Tenso
 	}
 	colw := cols.Dim(1)
 	gd := grad.Data()
-	// dW[oc] += sum_p grad[oc,p] * cols[p]; db[oc] += sum_p grad[oc,p].
-	gw := c.Weight.G
+	gradMat := grad.Reshape(c.OutC, np)
+	// dW += grad (OutC x np) x cols (np x colw); db[oc] += sum_p grad[oc,p].
+	tensor.MatMulAccum(c.Weight.G, gradMat, cols)
 	gb := c.Bias.G.Data()
 	for oc := 0; oc < c.OutC; oc++ {
-		grow := gd[oc*np : (oc+1)*np]
-		wrow := gw.Data()[oc*colw : (oc+1)*colw]
 		var bsum float32
-		for p, g := range grow {
-			if g == 0 {
-				continue
-			}
+		for _, g := range gd[oc*np : (oc+1)*np] {
 			bsum += g
-			patch := cols.Data()[p*colw : (p+1)*colw]
-			for k, v := range patch {
-				wrow[k] += g * v
-			}
 		}
 		gb[oc] += bsum
 	}
 	if !needInputGrad {
 		return nil
 	}
-	// dCols[p] = sum_oc grad[oc,p] * W[oc]; dIn = Col2Im(dCols).
+	// dCols (np x colw) = grad^T x W; dIn = Col2Im(dCols).
 	dcols := tensor.New(np, colw)
-	wd := c.Weight.W
-	for oc := 0; oc < c.OutC; oc++ {
-		grow := gd[oc*np : (oc+1)*np]
-		wrow := wd.Data()[oc*colw : (oc+1)*colw]
-		for p, g := range grow {
-			if g == 0 {
-				continue
-			}
-			drow := dcols.Data()[p*colw : (p+1)*colw]
-			for k, wv := range wrow {
-				drow[k] += g * wv
-			}
-		}
-	}
+	tensor.MatMulTNAccum(dcols, gradMat, c.Weight.W)
 	return tensor.Col2Im(dcols, c.InC, c.lastInH, c.lastInWidthPx, c.KH, c.KW, c.Stride, c.Pad)
 }
 

@@ -1,0 +1,83 @@
+package rl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans a fixed set of independent, indexed jobs across a bounded number
+// of worker goroutines. It is the experiment engine's scheduler: the paper's
+// evaluation sweeps (environments x topologies x seeds) are embarrassingly
+// parallel, but the seed implementation spawned one goroutine per cell, which
+// does not bound memory and gives the Go scheduler no batching to work with.
+//
+// Determinism contract: a job must derive every random stream it uses from
+// its own index — the flight engine folds each job's (env, topology, repeat)
+// indices into the experiment seed — never from worker identity or
+// scheduling order, and must write only state it owns. Under that contract
+// any worker count — including Workers == 1, the serial schedule — produces
+// bit-identical results, which TestParallelEngineMatchesSerial in
+// internal/core asserts.
+type Pool struct {
+	// Workers is the number of concurrent workers; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// size resolves the effective worker count for n jobs.
+func (p Pool) size(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ForEach runs job(0) .. job(n-1) on the pool and blocks until all have
+// returned. Jobs are handed out in index order from a shared counter, so the
+// pool never holds more than Workers jobs in flight.
+func (p Pool) ForEach(n int, job func(i int)) {
+	workers := p.size(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs job(0) .. job(n-1) on the pool and returns the error of the
+// lowest-indexed job that failed, matching what the serial loop would have
+// reported first. All jobs run regardless of failures, keeping the schedule
+// identical to the error-free case.
+func (p Pool) ForEachErr(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	p.ForEach(n, func(i int) {
+		errs[i] = job(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 53
+		counts := make([]int32, n)
+		Pool{Workers: workers}.ForEach(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolForEachZeroJobs(t *testing.T) {
+	ran := false
+	Pool{}.ForEach(0, func(int) { ran = true })
+	if ran {
+		t.Error("no jobs must mean no calls")
+	}
+}
+
+func TestPoolSerialOrder(t *testing.T) {
+	var order []int
+	Pool{Workers: 1}.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	for _, workers := range []int{1, 4} {
+		err := Pool{Workers: workers}.ForEachErr(10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return fmt.Errorf("late failure")
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want the index-3 error", workers, err)
+		}
+	}
+	if err := (Pool{Workers: 3}).ForEachErr(4, func(int) error { return nil }); err != nil {
+		t.Errorf("clean run returned %v", err)
+	}
+}

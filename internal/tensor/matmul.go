@@ -2,8 +2,28 @@ package tensor
 
 import "fmt"
 
+// The GEMM kernels below are cache-blocked and goroutine-parallel, but every
+// output element is still accumulated by a single goroutine in ascending
+// reduction-index order with one accumulator. That makes each kernel
+// bit-identical to its textbook serial loop for any GOMAXPROCS, which is what
+// lets the parallel experiment engine (internal/core) promise results equal
+// to the serial schedule.
+
+// gemmBlockK is the reduction-panel height: a panel of B (gemmBlockK x n
+// float32s) is kept hot across all rows of A instead of streaming B once per
+// row.
+const gemmBlockK = 256
+
+// ntTileJ is the column tile of the A*B^T kernel: tile rows of B are reused
+// across a register block of four A rows.
+const ntTileJ = 8
+
 // MatMul computes C = A x B for 2-D tensors A (m x k) and B (k x n),
-// writing into a freshly allocated m x n tensor.
+// writing into a freshly allocated m x n tensor. B is transposed into a
+// scratch buffer first so the register-blocked dot-product kernel can run
+// with both operands contiguous; because C starts at exactly zero, the
+// register accumulator chains the same ascending-p additions the saxpy loop
+// would, and the result is bit-identical to the naive triple loop.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -13,26 +33,198 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d vs %d", k, k2))
 	}
+	bt := New(n, k)
+	transposeInto(bt.data, b.data, k, n)
 	c := New(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		crow := cd[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	MatMulNTInto(c, a, bt)
 	return c
 }
 
+// transposeInto writes the n x m transpose of the row-major m x n src into
+// dst, tiled so both sides stay cache resident.
+func transposeInto(dst, src []float32, m, n int) {
+	const tile = 32
+	for i0 := 0; i0 < m; i0 += tile {
+		i1 := i0 + tile
+		if i1 > m {
+			i1 = m
+		}
+		for j0 := 0; j0 < n; j0 += tile {
+			j1 := j0 + tile
+			if j1 > n {
+				j1 = n
+			}
+			for i := i0; i < i1; i++ {
+				row := src[i*n : (i+1)*n]
+				for j := j0; j < j1; j++ {
+					dst[j*m+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulAccum accumulates dst += A x B for A (m x k), B (k x n) and a
+// pre-allocated dst (m x n). This is the weight-gradient primitive of
+// GEMM-based convolution backprop: dW += dOut x im2col(input).
+func MatMulAccum(dst, a, b *Tensor) {
+	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulAccum requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulAccum shape mismatch %v += %v x %v", dst.shape, a.shape, b.shape))
+	}
+	matMulAccumInto(dst.data, a.data, b.data, m, k, b.Dim(1))
+}
+
+// matMulAccumInto is the shared blocked ikj kernel: panels of B stay cache
+// hot across the rows of each chunk, and zero A entries skip their row of B.
+// Per output element the products are added in ascending p order with direct
+// accumulation onto the destination, exactly as the naive triple loop does —
+// the accumulate semantics pin the kernel to this saxpy form, because a
+// register-blocked dot product would fold the whole update into one addition
+// and round differently.
+func matMulAccumInto(cd, ad, bd []float32, m, k, n int) {
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for p0 := 0; p0 < k; p0 += gemmBlockK {
+			p1 := p0 + gemmBlockK
+			if p1 > k {
+				p1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				crow := cd[i*n : (i+1)*n]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := bd[p*n : (p+1)*n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// MatMulNTInto computes dst = A x B^T for A (m x k), B (n x k) and a
+// pre-allocated dst (m x n), i.e. dst[i][j] = <A[i], B[j]>. Both operands
+// are traversed along their contiguous axis, which is why GEMM convolution
+// prefers this form: dOut = W x im2col(input)^T. A register block of four A
+// rows shares each load of a B row.
+func MatMulNTInto(dst, a, b *Tensor) {
+	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulNTInto requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulNTInto shape mismatch %v = %v x %v^T", dst.shape, a.shape, b.shape))
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelRows(n, m*k*n, func(lo, hi int) {
+		for j0 := lo; j0 < hi; j0 += ntTileJ {
+			j1 := j0 + ntTileJ
+			if j1 > hi {
+				j1 = hi
+			}
+			i := 0
+			for ; i+3 < m; i += 4 {
+				a0 := ad[i*k : (i+1)*k]
+				a1 := ad[(i+1)*k : (i+2)*k]
+				a2 := ad[(i+2)*k : (i+3)*k]
+				a3 := ad[(i+3)*k : (i+4)*k]
+				for j := j0; j < j1; j++ {
+					brow := bd[j*k : (j+1)*k]
+					var s0, s1, s2, s3 float32
+					for t, bv := range brow {
+						s0 += a0[t] * bv
+						s1 += a1[t] * bv
+						s2 += a2[t] * bv
+						s3 += a3[t] * bv
+					}
+					cd[i*n+j] = s0
+					cd[(i+1)*n+j] = s1
+					cd[(i+2)*n+j] = s2
+					cd[(i+3)*n+j] = s3
+				}
+			}
+			for ; i < m; i++ {
+				arow := ad[i*k : (i+1)*k]
+				for j := j0; j < j1; j++ {
+					brow := bd[j*k : (j+1)*k]
+					var s float32
+					for t, bv := range brow {
+						s += arow[t] * bv
+					}
+					cd[i*n+j] = s
+				}
+			}
+		}
+	})
+}
+
+// MatMulTNAccum accumulates dst += A^T x B for A (r x m), B (r x n) and a
+// pre-allocated dst (m x n), i.e. dst[i][j] += sum_t A[t][i]*B[t][j]. This is
+// the input-gradient primitive of GEMM convolution backprop:
+// d(im2col cols) += dOut^T x W, without materializing either transpose. A
+// register block of four dst rows shares each load of a B row; rows of A that
+// are entirely zero for the block skip their row of B.
+func MatMulTNAccum(dst, a, b *Tensor) {
+	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTNAccum requires rank-2 tensors")
+	}
+	r, m := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != r || dst.Dim(0) != m || dst.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTNAccum shape mismatch %v += %v^T x %v", dst.shape, a.shape, b.shape))
+	}
+	n := b.Dim(1)
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelRows(m, r*m*n, func(lo, hi int) {
+		i := lo
+		for ; i+3 < hi; i += 4 {
+			d0 := cd[i*n : (i+1)*n]
+			d1 := cd[(i+1)*n : (i+2)*n]
+			d2 := cd[(i+2)*n : (i+3)*n]
+			d3 := cd[(i+3)*n : (i+4)*n]
+			for t := 0; t < r; t++ {
+				g0 := ad[t*m+i]
+				g1 := ad[t*m+i+1]
+				g2 := ad[t*m+i+2]
+				g3 := ad[t*m+i+3]
+				if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
+					continue
+				}
+				brow := bd[t*n : (t+1)*n]
+				for q, bv := range brow {
+					d0[q] += g0 * bv
+					d1[q] += g1 * bv
+					d2[q] += g2 * bv
+					d3[q] += g3 * bv
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			drow := cd[i*n : (i+1)*n]
+			for t := 0; t < r; t++ {
+				g := ad[t*m+i]
+				if g == 0 {
+					continue
+				}
+				brow := bd[t*n : (t+1)*n]
+				for q, bv := range brow {
+					drow[q] += g * bv
+				}
+			}
+		}
+	})
+}
+
 // MatVec computes y = A x v for a 2-D tensor A (m x k) and a length-k
-// vector, returning a length-m vector.
+// vector, returning a length-m vector. Four rows are reduced per pass over v.
 func MatVec(a *Tensor, v []float32) []float32 {
 	if a.Rank() != 2 {
 		panic("tensor: MatVec requires a rank-2 tensor")
@@ -42,21 +234,40 @@ func MatVec(a *Tensor, v []float32) []float32 {
 		panic(fmt.Sprintf("tensor: MatVec length mismatch %d vs %d", len(v), k))
 	}
 	y := make([]float32, m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*k : (i+1)*k]
-		var s float32
-		for j, w := range row {
-			s += w * v[j]
+	ad := a.data
+	parallelRows(m, m*k, func(lo, hi int) {
+		i := lo
+		for ; i+3 < hi; i += 4 {
+			r0 := ad[i*k : (i+1)*k]
+			r1 := ad[(i+1)*k : (i+2)*k]
+			r2 := ad[(i+2)*k : (i+3)*k]
+			r3 := ad[(i+3)*k : (i+4)*k]
+			var s0, s1, s2, s3 float32
+			for j, vv := range v {
+				s0 += r0[j] * vv
+				s1 += r1[j] * vv
+				s2 += r2[j] * vv
+				s3 += r3[j] * vv
+			}
+			y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
 		}
-		y[i] = s
-	}
+		for ; i < hi; i++ {
+			row := ad[i*k : (i+1)*k]
+			var s float32
+			for j, w := range row {
+				s += w * v[j]
+			}
+			y[i] = s
+		}
+	})
 	return y
 }
 
 // MatVecT computes y = A^T x v for a 2-D tensor A (m x k) and a length-m
 // vector, returning a length-k vector. This is the vector-transposed-matrix
 // product the PE array performs during FC backpropagation (paper Fig. 8)
-// without materializing the transpose.
+// without materializing the transpose; parallel chunks partition the output
+// columns so every y[j] is reduced by one goroutine in ascending row order.
 func MatVecT(a *Tensor, v []float32) []float32 {
 	if a.Rank() != 2 {
 		panic("tensor: MatVecT requires a rank-2 tensor")
@@ -66,16 +277,20 @@ func MatVecT(a *Tensor, v []float32) []float32 {
 		panic(fmt.Sprintf("tensor: MatVecT length mismatch %d vs %d", len(v), m))
 	}
 	y := make([]float32, k)
-	for i := 0; i < m; i++ {
-		s := v[i]
-		if s == 0 {
-			continue
+	ad := a.data
+	parallelRows(k, m*k, func(lo, hi int) {
+		yseg := y[lo:hi]
+		for i := 0; i < m; i++ {
+			s := v[i]
+			if s == 0 {
+				continue
+			}
+			row := ad[i*k+lo : i*k+hi]
+			for j, w := range row {
+				yseg[j] += s * w
+			}
 		}
-		row := a.data[i*k : (i+1)*k]
-		for j, w := range row {
-			y[j] += s * w
-		}
-	}
+	})
 	return y
 }
 
@@ -86,13 +301,17 @@ func Outer(dst *Tensor, a, b []float32) {
 		panic("tensor: Outer shape mismatch")
 	}
 	n := len(b)
-	for i, av := range a {
-		if av == 0 {
-			continue
+	dd := dst.data
+	parallelRows(len(a), len(a)*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			av := a[i]
+			if av == 0 {
+				continue
+			}
+			row := dd[i*n : (i+1)*n]
+			for j, bv := range b {
+				row[j] += av * bv
+			}
 		}
-		row := dst.data[i*n : (i+1)*n]
-		for j, bv := range b {
-			row[j] += av * bv
-		}
-	}
+	})
 }

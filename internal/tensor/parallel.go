@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFlops is the approximate number of fused multiply-adds below which
+// a kernel runs on the calling goroutine only: fan-out costs more than it
+// saves on the small NavNet matrices, and those run inside experiment workers
+// that are themselves parallel.
+const parallelFlops = 1 << 18
+
+// parallelRows splits the row range [0, n) into contiguous chunks and runs
+// fn(lo, hi) for each chunk, concurrently when the kernel is large enough
+// (flops is the caller's estimate of total multiply-adds). Every output row
+// is owned by exactly one chunk and each chunk performs the same arithmetic
+// in the same order as the serial loop, so results are bit-identical to
+// fn(0, n) regardless of GOMAXPROCS or scheduling.
+func parallelRows(n, flops int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || flops < parallelFlops {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
