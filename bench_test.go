@@ -9,6 +9,7 @@
 package dronerl
 
 import (
+	"math/rand"
 	"testing"
 
 	"dronerl/internal/core"
@@ -393,6 +394,132 @@ func BenchmarkFlightEngineParallel(b *testing.B) {
 		if _, err := core.RunFlightExperiment(flightBenchScale(0)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Batched training-path benchmarks -----------------------------------
+//
+// PR 2's hot path: rl.Agent.TrainStep rebuilt on the batched forward/backward
+// stack (one GEMM per layer per batch, arena-backed workspaces). The Serial
+// variant is the per-sample reference path kept verbatim from before the
+// rewrite; both produce bit-identical training (asserted in internal/rl), so
+// the delta is pure speed:
+//
+//	go test -bench='TrainStep|ConvForwardBatch|ConvBackward' -benchmem
+//
+// cmd/benchjson turns the output into the BENCH_pr2.json CI artifact.
+
+// trainBenchAgent builds a NavNet agent with a replay buffer of live
+// (non-terminal) transitions so every sampled minibatch pays the full
+// bootstrap-forward cost in both paths.
+func trainBenchAgent(batch int) *rl.Agent {
+	a := rl.NewAgent(nn.NavNetSpec(), nn.E2E, rl.Options{Seed: 17, BatchSize: batch})
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 2*batch; i++ {
+		s := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		s.RandN(rng, 1)
+		next := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		next.RandN(rng, 1)
+		a.Observe(rl.Transition{State: s, Action: i % nn.NavNetActions, Reward: 0.1, Next: next})
+	}
+	return a
+}
+
+// trainBatch is the minibatch size of the TrainStep benchmarks; the paper's
+// accelerator sweeps batch 1-32 (Fig. 13(a)) and this is its largest point.
+const trainBatch = 32
+
+// BenchmarkTrainStepSerial is the "before" baseline: ~3N single-sample
+// network passes per update with freshly allocated intermediates.
+func BenchmarkTrainStepSerial(b *testing.B) {
+	a := trainBenchAgent(trainBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TrainStepSerial()
+	}
+}
+
+// BenchmarkTrainStepBatched measures the batched path: one GEMM per layer
+// per batch, zero steady-state allocations. Acceptance target: >= 3x over
+// BenchmarkTrainStepSerial at batch 32.
+func BenchmarkTrainStepBatched(b *testing.B) {
+	a := trainBenchAgent(trainBatch)
+	a.TrainStep() // warm the workspaces so allocs/op reflects steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TrainStep()
+	}
+}
+
+// convBatch is the batch size of the batched conv-layer benchmarks.
+const convBatch = 8
+
+// alexConv2Batch stacks convBatch copies of the AlexNet CONV2 workload.
+func alexConv2Batch() (*nn.Conv2D, *tensor.Tensor, *tensor.Tensor) {
+	c, in := alexConv2()
+	batch := tensor.New(convBatch, 96, 27, 27)
+	for s := 0; s < convBatch; s++ {
+		copy(batch.Data()[s*in.Len():(s+1)*in.Len()], in.Data())
+	}
+	return c, in, batch
+}
+
+// BenchmarkConvForwardPerSample runs the AlexNet-sized CONV2 forward as
+// convBatch single-sample GEMM passes — the serial path's cost for a batch.
+func BenchmarkConvForwardPerSample(b *testing.B) {
+	c, in, _ := alexConv2Batch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < convBatch; s++ {
+			c.Forward(in)
+		}
+	}
+	convGFLOPS(b, c, 27, 27, b.Elapsed().Seconds()/convBatch)
+}
+
+// BenchmarkConvForwardBatchGEMM runs the same work as one batched im2col +
+// one GEMM over the stacked patches, writing into reused workspaces.
+func BenchmarkConvForwardBatchGEMM(b *testing.B) {
+	c, _, batch := alexConv2Batch()
+	c.ForwardBatch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ForwardBatch(batch)
+	}
+	convGFLOPS(b, c, 27, 27, b.Elapsed().Seconds()/convBatch)
+}
+
+// BenchmarkConvBackwardPerSample measures the per-sample backward pass
+// (weight, bias and input gradients) over a batch of convBatch samples.
+func BenchmarkConvBackwardPerSample(b *testing.B) {
+	c, in, _ := alexConv2Batch()
+	out := c.Forward(in)
+	grad := out.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < convBatch; s++ {
+			c.Forward(in)
+			c.Backward(grad, true)
+		}
+	}
+}
+
+// BenchmarkConvBackwardBatchGEMM measures the batched backward: one dW GEMM
+// and one dCols GEMM for the whole batch.
+func BenchmarkConvBackwardBatchGEMM(b *testing.B) {
+	c, _, batch := alexConv2Batch()
+	out := c.ForwardBatch(batch)
+	grad := out.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ForwardBatch(batch)
+		c.BackwardBatch(grad, true)
 	}
 }
 

@@ -119,10 +119,7 @@ func (a ArchSpec) TrainedWeights(c Config) int {
 	if c == E2E {
 		return a.TotalWeights()
 	}
-	k := c.TrainedFCLayers()
-	if k > len(a.FCs) {
-		k = len(a.FCs)
-	}
+	k := min(c.TrainedFCLayers(), len(a.FCs))
 	total := 0
 	for i := len(a.FCs) - k; i < len(a.FCs); i++ {
 		total += a.FCs[i].Weights()

@@ -1,0 +1,406 @@
+package nn
+
+import (
+	"fmt"
+
+	"dronerl/internal/tensor"
+)
+
+// This file is the batched minibatch path: every layer processes B stacked
+// samples (leading batch dimension, NCHW for spatial tensors) with a single
+// cache-blocked GEMM per layer instead of B single-sample passes. All
+// intermediate storage lives in per-layer tensor.Arena workspaces, so after
+// the first batch of a given size ("warm-up") a forward/backward pass
+// performs no heap allocation — the software analogue of the accelerator's
+// fixed scratchpad provisioning (paper Section V). (One caveat: with
+// GOMAXPROCS > 1, GEMMs above the parallelFlops threshold fan out
+// goroutines whose closures allocate; the zero-alloc contract is exact on
+// the single-threaded schedule.)
+//
+// Beyond amortizing per-call overheads, batching is what unlocks SIMD: the
+// stacked layouts (transposed im2col panels, minibatch rows) make the
+// non-reduction axis of every GEMM long and unit-stride, so the layers below
+// run on the vectorized tensor.MatMulAccumVec/MatMulTNAccumVec kernels, whose
+// saxpy row updates span output elements — never the reduction axis — and
+// therefore stay bit-identical to the serial path (see matmul_vec.go).
+//
+// Bit-identity contract: for every output element, the batched kernels run
+// the same single-accumulator, ascending-index reduction the serial path
+// runs, so per-sample results — activations, parameter gradients, input
+// gradients — are bit-identical to B independent Forward/Backward calls.
+// internal/nn and internal/rl tests assert this with exact equality.
+
+// BatchLayer is a Layer that can additionally process B stacked samples in
+// one call. ForwardBatch takes a batch-major input ((B, ...) with the same
+// trailing shape Forward expects) and returns a batch-major output owned by
+// the layer's workspace arena: it remains valid only until the layer's next
+// batched call. BackwardBatch mirrors Backward with the same gradient
+// accumulation semantics, consuming the cache left by the latest
+// ForwardBatch. The serial and batched caches are independent — interleaving
+// single-sample Forward calls between ForwardBatch and BackwardBatch is safe.
+type BatchLayer interface {
+	Layer
+	ForwardBatch(in *tensor.Tensor) *tensor.Tensor
+	BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor
+}
+
+// Arena slots of Conv2D's batched workspace.
+const (
+	convSlotColsT = iota
+	convSlotCols
+	convSlotGemm
+	convSlotOut
+	convSlotGrad2
+	convSlotDcolsT
+	convSlotDcols
+	convSlotDin
+)
+
+// panel returns storage for an im2col-sized batched workspace: a reusable
+// arena slot normally, or a garbage-collected temporary when
+// DisableColsCaching asks the layer to bound its resident memory — the
+// batched analogue of the serial path dropping lastCols. The panels are by
+// far the largest workspaces (colw x B*np floats each), so releasing just
+// them keeps a very large layer usable at the cost of steady-state
+// allocations.
+// Fixed arity (every panel is rank-2) rather than variadic: forwarding one
+// shape slice into both tensor.New and Arena.Get would force it onto the
+// heap at every call and break the zero-allocation contract.
+func (c *Conv2D) panel(slot, rows, cols int) *tensor.Tensor {
+	if c.DisableColsCaching {
+		return tensor.New(rows, cols)
+	}
+	return c.bArena.Get(slot, rows, cols)
+}
+
+// ForwardBatch implements BatchLayer: one im2col expansion over the whole
+// batch and one GEMM computing all B samples' outputs, against the serial
+// path's 2 kernel launches per sample. The im2col panel is built in the
+// transposed (colw x B*np) layout, which turns the batch GEMM into saxpy row
+// updates over B*np-wide unit-stride rows — the vector kernel's shape — while
+// each output element keeps the serial path's ascending dot-product order.
+func (c *Conv2D) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 4 || in.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s expects NCHW input with C=%d, got %v", c.LayerName, c.InC, in.Shape()))
+	}
+	b, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.Pad)
+	np := oh * ow
+	colw := c.InC * c.KH * c.KW
+	colsT := c.panel(convSlotColsT, colw, b*np)
+	tensor.Im2ColTInto(colsT, in, c.KH, c.KW, c.Stride, c.Pad)
+	c.bIn = in
+	if c.DisableColsCaching {
+		c.bColsT = nil // BackwardBatch re-expands from bIn
+	} else {
+		c.bColsT = colsT
+	}
+	c.bB, c.bOutH, c.bOutW = b, oh, ow
+	c.bInH, c.bInW = h, w
+	// One GEMM for the whole batch: gemm (OutC x B*np) = W x colsT. Each
+	// output element is the same ascending-index reduction the serial
+	// path's dot product computes, so the scatter back to NCHW below is a
+	// pure copy plus the single bias addition the serial path also performs.
+	gemm := c.bArena.Get(convSlotGemm, c.OutC, b*np)
+	gemm.Zero()
+	tensor.MatMulAccumVec(gemm, c.Weight.W, colsT)
+	out := c.bArena.Get(convSlotOut, b, c.OutC, oh, ow)
+	gd := gemm.Data()
+	od := out.Data()
+	bd := c.Bias.W.Data()
+	for s := 0; s < b; s++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			src := gd[oc*b*np+s*np : oc*b*np+(s+1)*np]
+			dst := od[(s*c.OutC+oc)*np : (s*c.OutC+oc+1)*np]
+			bias := bd[oc]
+			for p, v := range src {
+				dst[p] = v + bias
+			}
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer: one GEMM per gradient (dW, dCols)
+// over the whole batch. The reduction order over the stacked (sample, patch)
+// axis is ascending, which is exactly the order the serial path produces by
+// processing samples one after another — hence bit-identical accumulators.
+func (c *Conv2D) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if c.bIn == nil {
+		panic("nn: Conv2D.BackwardBatch before ForwardBatch")
+	}
+	b := c.bB
+	np := c.bOutH * c.bOutW
+	colw := c.InC * c.KH * c.KW
+	// Regroup the NCHW gradient into channel-major (OutC x B*np) so the
+	// batch GEMMs see the stacked layout; a pure copy.
+	grad2 := c.bArena.Get(convSlotGrad2, c.OutC, b*np)
+	gd := grad.Data()
+	g2 := grad2.Data()
+	for s := 0; s < b; s++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			copy(g2[oc*b*np+s*np:oc*b*np+(s+1)*np], gd[(s*c.OutC+oc)*np:(s*c.OutC+oc+1)*np])
+		}
+	}
+	// dW += grad2 (OutC x B*np) x cols (B*np x colw). The weight-gradient
+	// GEMM reduces over the stacked patch axis, so it wants the patch-major
+	// im2col layout; recover it from the forward pass's transposed panel
+	// with one tiled copy (far cheaper than the GEMM it feeds).
+	colsT := c.bColsT
+	if colsT == nil {
+		colsT = tensor.New(colw, b*np)
+		tensor.Im2ColTInto(colsT, c.bIn, c.KH, c.KW, c.Stride, c.Pad)
+	}
+	cols := c.panel(convSlotCols, b*np, colw)
+	tensor.TransposeInto(cols, colsT)
+	tensor.MatMulAccumVec(c.Weight.G, grad2, cols)
+	// db: per-sample partial sums added in sample order, matching the
+	// serial path's one-accumulator-per-sample bias reduction.
+	gb := c.Bias.G.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		for s := 0; s < b; s++ {
+			var bsum float32
+			for _, g := range g2[oc*b*np+s*np : oc*b*np+(s+1)*np] {
+				bsum += g
+			}
+			gb[oc] += bsum
+		}
+	}
+	if !needInputGrad {
+		return nil
+	}
+	// dCols = grad2^T x W, then per-sample col2im scatter. Computed in the
+	// transposed (colw x B*np) layout — dColsT += W^T x grad2 — so the
+	// vector kernel's rows span the whole batch axis instead of one colw-wide
+	// patch (tens of saxpy calls rather than tens of thousands), then
+	// transposed back to the patch-major layout Col2ImInto's serial-order
+	// scatter requires. Per element both forms accumulate the same products
+	// in the same ascending-OutC order, so the values are bit-identical.
+	dcolsT := c.panel(convSlotDcolsT, colw, b*np)
+	dcolsT.Zero()
+	tensor.MatMulTNAccumVec(dcolsT, c.Weight.W, grad2)
+	dcols := c.panel(convSlotDcols, b*np, colw)
+	tensor.TransposeInto(dcols, dcolsT)
+	din := c.bArena.Get(convSlotDin, b, c.InC, c.bInH, c.bInW)
+	tensor.Col2ImInto(din, dcols, c.KH, c.KW, c.Stride, c.Pad)
+	return din
+}
+
+// Arena slots of Dense's batched workspace.
+const (
+	denseSlotOut = iota
+	denseSlotDin
+	denseSlotWT
+)
+
+// ForwardBatch implements BatchLayer: Y (B x Out) = X x W^T + bias in one
+// GEMM, replacing B matrix-vector products. The weight matrix is transposed
+// into the layer workspace first so the GEMM runs as saxpy updates over
+// Out-wide rows — vectorized, with whole rows skipped wherever a ReLU zeroed
+// the activation — while each output element keeps the serial matrix-vector
+// product's ascending reduction order (the bias is still added only after the
+// full reduction, as the serial path does). The transpose is redone every
+// call by design: it costs a few percent of the pass, and caching it would
+// require invalidation hooks at every site that mutates Weight.W (Step,
+// CopyWeightsFrom, Init, snapshot restore, quantization) — a staleness bug
+// waiting to happen for a marginal win.
+func (d *Dense) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 2 || in.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s expects (B, %d) input, got %v", d.LayerName, d.In, in.Shape()))
+	}
+	b := in.Dim(0)
+	d.bIn = in
+	wt := d.bArena.Get(denseSlotWT, d.In, d.Out)
+	tensor.TransposeInto(wt, d.Weight.W)
+	out := d.bArena.Get(denseSlotOut, b, d.Out)
+	out.Zero()
+	tensor.MatMulAccumVec(out, in, wt)
+	od := out.Data()
+	bd := d.Bias.W.Data()
+	for s := 0; s < b; s++ {
+		row := od[s*d.Out : (s+1)*d.Out]
+		for i := range row {
+			row[i] += bd[i]
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer: dW += G^T x X and dX = G x W, one
+// GEMM each, with the batch axis as the ascending reduction so parameter
+// gradients accumulate in serial sample order.
+func (d *Dense) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if d.bIn == nil {
+		panic("nn: Dense.BackwardBatch before ForwardBatch")
+	}
+	b := grad.Dim(0)
+	tensor.MatMulTNAccumVec(d.Weight.G, grad, d.bIn)
+	gd := grad.Data()
+	bg := d.Bias.G.Data()
+	for s := 0; s < b; s++ {
+		row := gd[s*d.Out : (s+1)*d.Out]
+		for i, v := range row {
+			bg[i] += v
+		}
+	}
+	if !needInputGrad {
+		return nil
+	}
+	din := d.bArena.Get(denseSlotDin, b, d.In)
+	din.Zero()
+	tensor.MatMulAccumVec(din, grad, d.Weight.W)
+	return din
+}
+
+// ForwardBatch implements BatchLayer; the rectifier is elementwise, so the
+// batch path only differs by writing into a reused workspace — with the SIMD
+// kernel, whose tie/NaN semantics match the serial branch bit for bit. No
+// separate mask is kept: the cached output is its own mask, since out > 0
+// exactly when the input was > 0.
+func (r *ReLU) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	out := r.bArena.Get(0, in.Shape()...)
+	tensor.ReluInto(out, in)
+	r.bOut = out
+	return out
+}
+
+// BackwardBatch implements BatchLayer.
+func (r *ReLU) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if !needInputGrad {
+		return nil
+	}
+	out := r.bArena.Get(1, grad.Shape()...)
+	tensor.ReluGradInto(out, grad, r.bOut)
+	return out
+}
+
+// ForwardBatch implements BatchLayer: the per-sample pooling loops of the
+// serial path, writing into a reused batch workspace. Argmax indices are
+// stored flat into the batch input so BackwardBatch is a single scatter.
+func (m *MaxPool) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", m.LayerName, in.Shape()))
+	}
+	b, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h-m.K)/m.Stride + 1
+	ow := (w-m.K)/m.Stride + 1
+	m.bShape = [4]int{b, c, h, w}
+	out := m.bArena.Get(0, b, c, oh, ow)
+	if cap(m.bArgmax) < b*c*oh*ow {
+		m.bArgmax = make([]int, b*c*oh*ow)
+	}
+	m.bArgmax = m.bArgmax[:b*c*oh*ow]
+	id := in.Data()
+	od := out.Data()
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			obase := (s*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + oy*m.Stride*w + ox*m.Stride
+					best := id[bestIdx]
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							idx := base + (oy*m.Stride+ky)*w + ox*m.Stride + kx
+							if id[idx] > best {
+								best = id[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := obase + oy*ow + ox
+					od[o] = best
+					m.bArgmax[o] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer.
+func (m *MaxPool) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if !needInputGrad {
+		return nil
+	}
+	out := m.bArena.Get(1, m.bShape[0], m.bShape[1], m.bShape[2], m.bShape[3])
+	out.Zero()
+	od := out.Data()
+	gd := grad.Data()
+	for o, src := range m.bArgmax {
+		od[src] += gd[o]
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer: (B, C, H, W) -> (B, C*H*W) as a view.
+// The view header is cached so a steady-state pass allocates nothing.
+func (f *Flatten) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", f.LayerName, in.Shape()))
+	}
+	sh := in.Shape()
+	shape := [4]int{sh[0], sh[1], sh[2], sh[3]}
+	if f.bIn != in || f.bShape != shape {
+		f.bIn, f.bShape = in, shape
+		f.bOut = in.Reshape(shape[0], shape[1]*shape[2]*shape[3])
+	}
+	return f.bOut
+}
+
+// BackwardBatch implements BatchLayer.
+func (f *Flatten) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if !needInputGrad {
+		return nil
+	}
+	if f.bGradIn != grad || f.bGradOut == nil || f.bGradOut.Dim(0) != f.bShape[0] ||
+		f.bGradOut.Dim(1) != f.bShape[1] || f.bGradOut.Dim(2) != f.bShape[2] || f.bGradOut.Dim(3) != f.bShape[3] {
+		f.bGradIn = grad
+		f.bGradOut = grad.Reshape(f.bShape[0], f.bShape[1], f.bShape[2], f.bShape[3])
+	}
+	return f.bGradOut
+}
+
+// ForwardBatch implements BatchLayer: the serial normalization loops per
+// sample, with denominators cached for the whole batch.
+func (l *LRN) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", l.LayerName, in.Shape()))
+	}
+	b, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	out := l.bArena.Get(0, b, c, h, w)
+	if cap(l.bDenom) < b*c*h*w {
+		l.bDenom = make([]float64, b*c*h*w)
+	}
+	l.bDenom = l.bDenom[:b*c*h*w]
+	l.bIn = in
+	hw := h * w
+	for s := 0; s < b; s++ {
+		id := in.Data()[s*c*hw : (s+1)*c*hw]
+		od := out.Data()[s*c*hw : (s+1)*c*hw]
+		denom := l.bDenom[s*c*hw : (s+1)*c*hw]
+		l.forwardSample(id, od, denom, c, hw)
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *LRN) BackwardBatch(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
+	if !needInputGrad {
+		return nil
+	}
+	in := l.bIn
+	b, c := in.Dim(0), in.Dim(1)
+	hw := in.Dim(2) * in.Dim(3)
+	out := l.bArena.Get(1, in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3))
+	for s := 0; s < b; s++ {
+		id := in.Data()[s*c*hw : (s+1)*c*hw]
+		gd := grad.Data()[s*c*hw : (s+1)*c*hw]
+		od := out.Data()[s*c*hw : (s+1)*c*hw]
+		denom := l.bDenom[s*c*hw : (s+1)*c*hw]
+		l.backwardSample(id, gd, od, denom, c, hw)
+	}
+	return out
+}

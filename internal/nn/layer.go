@@ -56,6 +56,14 @@ type Conv2D struct {
 	lastOutH, lastOutW     int
 	DisableColsCaching     bool // set to bound memory on very large layers
 	lastInH, lastInWidthPx int
+
+	// Batched-path state (see batch.go): reusable workspaces plus the
+	// shapes cached between ForwardBatch and BackwardBatch. bColsT is the
+	// transposed (colw x B*np) im2col panel of the latest ForwardBatch.
+	bArena           tensor.Arena
+	bIn, bColsT      *tensor.Tensor
+	bB, bOutH, bOutW int
+	bInH, bInW       int
 }
 
 // NewConv2D creates a convolution layer with zeroed parameters.
@@ -159,6 +167,9 @@ type Dense struct {
 	Weight    *Param
 	Bias      *Param
 	lastIn    *tensor.Tensor
+
+	bArena tensor.Arena
+	bIn    *tensor.Tensor
 }
 
 // NewDense creates a fully-connected layer with zeroed parameters.
@@ -228,6 +239,9 @@ func (d *Dense) Backward(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor
 type ReLU struct {
 	LayerName string
 	mask      []bool
+
+	bArena tensor.Arena
+	bOut   *tensor.Tensor // latest ForwardBatch output; doubles as the mask
 }
 
 // NewReLU creates a rectifier layer.
@@ -280,6 +294,10 @@ type MaxPool struct {
 	lastShape  []int
 	lastArgmax []int
 	outH, outW int
+
+	bArena  tensor.Arena
+	bArgmax []int
+	bShape  [4]int // cached NCHW input shape of the last ForwardBatch
 }
 
 // NewMaxPool creates a max-pooling layer with a square window.
@@ -349,6 +367,11 @@ func (m *MaxPool) Backward(grad *tensor.Tensor, needInputGrad bool) *tensor.Tens
 type Flatten struct {
 	LayerName string
 	lastShape []int
+
+	// Cached reshape views: a Reshape allocates a header, so the batched
+	// path reuses the previous view while its source tensor is unchanged.
+	bIn, bOut, bGradIn, bGradOut *tensor.Tensor
+	bShape                       [4]int
 }
 
 // NewFlatten creates a flattening layer.

@@ -21,6 +21,10 @@ type LRN struct {
 	Beta      float64
 	lastIn    *tensor.Tensor
 	lastDenom []float64
+
+	bArena tensor.Arena
+	bIn    *tensor.Tensor
+	bDenom []float64
 }
 
 // NewLRN creates an LRN layer with AlexNet's constants.
@@ -43,31 +47,28 @@ func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
 	}
 	l.lastDenom = l.lastDenom[:c*h*w]
 	l.lastIn = in
-	id := in.Data()
-	od := out.Data()
+	l.forwardSample(in.Data(), out.Data(), l.lastDenom, c, h*w)
+	return out
+}
+
+// forwardSample normalizes one CHW sample: od and the denominator cache are
+// filled from id. Shared verbatim by the serial and batched paths.
+func (l *LRN) forwardSample(id, od []float32, denoms []float64, c, hw int) {
 	half := l.N / 2
-	hw := h * w
 	for p := 0; p < hw; p++ {
 		for ch := 0; ch < c; ch++ {
-			lo := ch - half
-			if lo < 0 {
-				lo = 0
-			}
-			hi := ch + half
-			if hi >= c {
-				hi = c - 1
-			}
+			lo := max(ch-half, 0)
+			hi := min(ch+half, c-1)
 			var ss float64
 			for j := lo; j <= hi; j++ {
 				v := float64(id[j*hw+p])
 				ss += v * v
 			}
 			denom := l.K + l.Alpha/float64(l.N)*ss
-			l.lastDenom[ch*hw+p] = denom
+			denoms[ch*hw+p] = denom
 			od[ch*hw+p] = id[ch*hw+p] * float32(math.Pow(denom, -l.Beta))
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -78,33 +79,30 @@ func (l *LRN) Backward(grad *tensor.Tensor, needInputGrad bool) *tensor.Tensor {
 	in := l.lastIn
 	c := in.Dim(0)
 	hw := in.Dim(1) * in.Dim(2)
-	id := in.Data()
-	gd := grad.Data()
 	out := tensor.New(in.Shape()...)
-	od := out.Data()
+	l.backwardSample(in.Data(), grad.Data(), out.Data(), l.lastDenom, c, hw)
+	return out
+}
+
+// backwardSample computes one CHW sample's input gradient from the cached
+// denominators. Shared verbatim by the serial and batched paths.
+func (l *LRN) backwardSample(id, gd, od []float32, denoms []float64, c, hw int) {
 	half := l.N / 2
 	scale := 2 * l.Alpha * l.Beta / float64(l.N)
 	for p := 0; p < hw; p++ {
 		// dIn[j] = g[j]*denom[j]^-beta
 		//        - scale * a[j] * sum_{i: j in win(i)} g[i]*a[i]*denom[i]^-(beta+1)
 		for j := 0; j < c; j++ {
-			denomJ := l.lastDenom[j*hw+p]
+			denomJ := denoms[j*hw+p]
 			direct := float64(gd[j*hw+p]) * math.Pow(denomJ, -l.Beta)
-			lo := j - half
-			if lo < 0 {
-				lo = 0
-			}
-			hi := j + half
-			if hi >= c {
-				hi = c - 1
-			}
+			lo := max(j-half, 0)
+			hi := min(j+half, c-1)
 			var cross float64
 			for i := lo; i <= hi; i++ {
-				denomI := l.lastDenom[i*hw+p]
+				denomI := denoms[i*hw+p]
 				cross += float64(gd[i*hw+p]) * float64(id[i*hw+p]) * math.Pow(denomI, -(l.Beta+1))
 			}
 			od[j*hw+p] = float32(direct - scale*float64(id[j*hw+p])*cross)
 		}
 	}
-	return out
 }

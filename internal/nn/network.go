@@ -65,6 +65,13 @@ type Network struct {
 	// gradients; layers below it are frozen and backpropagation stops
 	// there (the paper's TL configurations).
 	trainFrom int
+
+	// Cached parameter slices: built lazily and reused so the per-step
+	// bookkeeping (ClipGrad, Step, target sync) allocates nothing. The
+	// layer stack must not change after the first Params call; SetConfig
+	// invalidates the trainable cache.
+	params    []*Param
+	trainable []*Param
 }
 
 // NewNetwork builds a network over the given layers, trainable end-to-end by
@@ -93,6 +100,36 @@ func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// ForwardBatch runs B stacked samples (leading batch dimension) through the
+// network with one GEMM per layer. The returned (B, out) tensor is a
+// workspace owned by the final layer — copy anything that must survive the
+// next batched call. Per-sample rows are bit-identical to B Forward calls.
+func (n *Network) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = n.batchLayer(l).ForwardBatch(x)
+	}
+	return x
+}
+
+// BackwardBatch accumulates parameter gradients for a whole batch, given the
+// (B, out) gradient of the loss w.r.t. the batched network output. It must
+// follow a ForwardBatch call on the same batch, and accumulates exactly what
+// B serial Backward calls would, bit for bit.
+func (n *Network) BackwardBatch(grad *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= n.trainFrom; i-- {
+		needInput := i > n.trainFrom
+		grad = n.batchLayer(n.Layers[i]).BackwardBatch(grad, needInput)
+	}
+}
+
+func (n *Network) batchLayer(l Layer) BatchLayer {
+	bl, ok := l.(BatchLayer)
+	if !ok {
+		panic(fmt.Sprintf("nn: layer %s does not implement the batched path", l.Name()))
+	}
+	return bl
+}
+
 // Backward accumulates parameter gradients for the layers at or above the
 // training boundary, given the gradient of the loss w.r.t. the network
 // output. It must follow a Forward call on the same sample.
@@ -107,6 +144,7 @@ func (n *Network) Backward(grad *tensor.Tensor) {
 // unfreezes everything; Lk unfreezes only the last k Dense layers (backprop
 // starts at the earliest of them, including interleaved activations).
 func (n *Network) SetConfig(c Config) {
+	n.trainable = nil
 	if c == E2E {
 		n.trainFrom = 0
 		return
@@ -132,22 +170,26 @@ func (n *Network) SetConfig(c Config) {
 func (n *Network) TrainFrom() int { return n.trainFrom }
 
 // TrainableParams returns the parameters that receive gradients under the
-// current configuration.
+// current configuration. The returned slice is cached — treat it as
+// read-only.
 func (n *Network) TrainableParams() []*Param {
-	var ps []*Param
-	for i := n.trainFrom; i < len(n.Layers); i++ {
-		ps = append(ps, n.Layers[i].Params()...)
+	if n.trainable == nil {
+		for i := n.trainFrom; i < len(n.Layers); i++ {
+			n.trainable = append(n.trainable, n.Layers[i].Params()...)
+		}
 	}
-	return ps
+	return n.trainable
 }
 
-// Params returns every parameter in the network.
+// Params returns every parameter in the network. The returned slice is
+// cached — treat it as read-only.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // WeightCount returns the total number of learnable scalars.

@@ -86,7 +86,21 @@ type Agent struct {
 	replay     *ReplayBuffer
 	envSteps   int
 	trainSteps int
+
+	// Reusable training-step buffers: the sampled minibatch, the stacked
+	// state/next-state/gradient tensors and the per-sample TD targets.
+	// After the first TrainStep they make the whole update allocation-free.
+	batch   []Transition
+	bArena  tensor.Arena
+	targets []float64
 }
+
+// Arena slots of the agent's batched training workspace.
+const (
+	agentSlotStates = iota
+	agentSlotNexts
+	agentSlotGrad
+)
 
 // NewAgent builds an agent for the given architecture and training
 // topology. The network is freshly initialized; use Restore/CopyWeightsFrom
@@ -162,12 +176,130 @@ func (a *Agent) Observe(t Transition) { a.replay.Push(t) }
 // ReplayLen returns the number of buffered transitions.
 func (a *Agent) ReplayLen() int { return a.replay.Len() }
 
-// TrainStep runs one training iteration: N sampled transitions are pushed
-// through forward + backward serially, accumulating gradients, followed by
-// a single weight update — exactly the batch procedure of Fig. 3(b). It
-// returns the mean squared TD error, or -1 when the buffer is still
+// TrainStep runs one training iteration on the batched path: the N sampled
+// transitions are stacked into batch tensors and pushed through one batched
+// target-network pass (all next-states), one batched online pass — plus one
+// more under Double-DQN for action selection — and one batched backward,
+// followed by a single weight update. This is the batch procedure of
+// Fig. 3(b) with one GEMM per layer per batch instead of ~3N single-sample
+// passes, and it is bit-identical to TrainStepSerial: same rng stream, same
+// per-sample reduction orders, same weights after the update (asserted by
+// the batch equivalence tests). After the first call it allocates nothing.
+// It returns the mean squared TD error, or -1 when the buffer is still
 // shorter than the batch.
 func (a *Agent) TrainStep() float64 {
+	o := a.opts
+	if a.replay.Len() < o.BatchSize {
+		return -1
+	}
+	a.batch = a.replay.SampleInto(a.batch[:0], o.BatchSize, a.rng)
+	b := o.BatchSize
+	// Stack observations into (B, C, H, W) views of the agent's workspace;
+	// the per-sample copies replace the serial path's defensive Clones.
+	sh := a.batch[0].State.Shape()
+	if len(sh) != 3 {
+		panic("rl: TrainStep expects CHW observations")
+	}
+	states := a.bArena.Get(agentSlotStates, b, sh[0], sh[1], sh[2])
+	nexts := a.bArena.Get(agentSlotNexts, b, sh[0], sh[1], sh[2])
+	n := a.batch[0].State.Len()
+	for i, tr := range a.batch {
+		if tr.State.Len() != n {
+			panic("rl: TrainStep batch mixes observation shapes")
+		}
+		copy(states.Data()[i*n:(i+1)*n], tr.State.Data())
+		dst := nexts.Data()[i*n : (i+1)*n]
+		switch {
+		case tr.Next != nil:
+			if tr.Next.Len() != n {
+				panic("rl: TrainStep batch mixes observation shapes")
+			}
+			copy(dst, tr.Next.Data())
+		case tr.Done:
+			// Terminal transitions may omit Next — the serial path never
+			// reads it for Done rows. Feed zeros; the bootstrap row is
+			// computed but ignored (the target is just the reward).
+			for j := range dst {
+				dst[j] = 0
+			}
+		default:
+			panic("rl: TrainStep transition has nil Next but Done is false")
+		}
+	}
+	bootstrap := a.Net
+	if a.Target != nil {
+		bootstrap = a.Target
+	}
+	// TD targets from one batched bootstrap pass over all next-states
+	// (Eq. (1) of the paper): r, plus the discounted bootstrap when the
+	// episode continues. Under DoubleDQN the online network chooses the
+	// bootstrap action and the target network prices it. Rows of finished
+	// episodes are computed too but ignored — the wasted columns cost far
+	// less than per-sample passes would.
+	if cap(a.targets) < b {
+		a.targets = make([]float64, b)
+	}
+	a.targets = a.targets[:b]
+	qn := bootstrap.ForwardBatch(nexts).Data()
+	if o.DoubleDQN && a.Target != nil {
+		qo := a.Net.ForwardBatch(nexts).Data()
+		for i := range a.targets {
+			sel := argmaxRow(qo[i*a.actions : (i+1)*a.actions])
+			a.targets[i] = o.Gamma * float64(qn[i*a.actions+sel])
+		}
+	} else {
+		for i := range a.targets {
+			row := qn[i*a.actions : (i+1)*a.actions]
+			a.targets[i] = o.Gamma * float64(row[argmaxRow(row)])
+		}
+	}
+	for i, tr := range a.batch {
+		if tr.Done {
+			a.targets[i] = tr.Reward
+		} else {
+			a.targets[i] += tr.Reward
+		}
+	}
+	// One batched online pass and one batched backward.
+	q := a.Net.ForwardBatch(states).Data()
+	grad := a.bArena.Get(agentSlotGrad, b, a.actions)
+	grad.Zero()
+	gd := grad.Data()
+	var mse float64
+	for i, tr := range a.batch {
+		td := float64(q[i*a.actions+tr.Action]) - a.targets[i]
+		mse += td * td
+		gd[i*a.actions+tr.Action] = float32(td)
+	}
+	a.Net.BackwardBatch(grad)
+	a.Net.ClipGrad(o.GradClip)
+	a.Net.Step(o.LR, o.BatchSize)
+	a.trainSteps++
+	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {
+		a.syncTarget()
+	}
+	return mse / float64(o.BatchSize)
+}
+
+// argmaxRow returns the index of the maximum value with ties resolving to
+// the lowest index, matching tensor.ArgMax.
+func argmaxRow(row []float32) int {
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TrainStepSerial is the per-sample reference implementation of TrainStep,
+// kept verbatim from before the batched path existed: each sampled
+// transition runs its own forward and backward passes with freshly allocated
+// intermediates. The batch equivalence tests assert TrainStep matches it bit
+// for bit, and the TrainStepSerial/TrainStepBatched benchmarks measure the
+// gap. Serial and batched steps are interchangeable mid-training.
+func (a *Agent) TrainStepSerial() float64 {
 	o := a.opts
 	if a.replay.Len() < o.BatchSize {
 		return -1

@@ -1,0 +1,179 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// fillReplay pushes n varied transitions (random observations, actions,
+// rewards, occasional terminals) into the agent's buffer, identically for
+// every agent given the same seed.
+func fillReplay(a *Agent, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		s.RandN(rng, 1)
+		next := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		next.RandN(rng, 1)
+		a.Observe(Transition{
+			State:  s,
+			Action: rng.Intn(nn.NavNetActions),
+			Reward: rng.Float64()*2 - 1,
+			Next:   next,
+			Done:   rng.Float64() < 0.2,
+		})
+	}
+}
+
+func paramsEqual(t *testing.T, label string, x, y *nn.Network) {
+	t.Helper()
+	xp, yp := x.Params(), y.Params()
+	for i := range xp {
+		if !xp[i].W.Equal(yp[i].W) {
+			t.Errorf("%s: weight %s diverges between serial and batched", label, xp[i].Name)
+		}
+		if !xp[i].G.Equal(yp[i].G) {
+			t.Errorf("%s: gradient %s diverges between serial and batched", label, xp[i].Name)
+		}
+	}
+}
+
+// TestTrainStepMatchesSerial is the tentpole acceptance test: the batched
+// TrainStep must match the per-sample reference path bit for bit — same
+// reported MSE every step, same weights and gradients afterwards — across
+// batch sizes 1/8/32, plain DQN and DoubleDQN, and a frozen TL topology.
+func TestTrainStepMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    nn.Config
+		double bool
+	}{
+		{"DQN-E2E", nn.E2E, false},
+		{"DoubleDQN-E2E", nn.E2E, true},
+		{"DQN-L2", nn.L2, false},
+	}
+	for _, tc := range cases {
+		for _, batch := range []int{1, 8, 32} {
+			opts := Options{
+				Seed: 61, BatchSize: batch, LR: 0.01,
+				TargetSync: 2, DoubleDQN: tc.double, EpsDecaySteps: 10,
+			}
+			serial := NewAgent(nn.NavNetSpec(), tc.cfg, opts)
+			batched := NewAgent(nn.NavNetSpec(), tc.cfg, opts)
+			fillReplay(serial, 48, 62)
+			fillReplay(batched, 48, 62)
+			for step := 0; step < 3; step++ {
+				ms := serial.TrainStepSerial()
+				mb := batched.TrainStep()
+				if ms != mb {
+					t.Errorf("%s batch=%d step %d: serial MSE %v != batched MSE %v",
+						tc.name, batch, step, ms, mb)
+				}
+			}
+			paramsEqual(t, tc.name, serial.Net, batched.Net)
+			if serial.Target != nil {
+				paramsEqual(t, tc.name+" (target)", serial.Target, batched.Target)
+			}
+		}
+	}
+}
+
+// TestTrainStepPathsInterchangeable verifies serial and batched steps can be
+// mixed mid-training: they consume the same rng stream and leave the same
+// state, so any interleaving equals the all-serial schedule.
+func TestTrainStepPathsInterchangeable(t *testing.T) {
+	opts := Options{Seed: 63, BatchSize: 8, LR: 0.01, TargetSync: 3}
+	mixed := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+	pure := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+	fillReplay(mixed, 32, 64)
+	fillReplay(pure, 32, 64)
+	for step := 0; step < 4; step++ {
+		var mm float64
+		if step%2 == 0 {
+			mm = mixed.TrainStep()
+		} else {
+			mm = mixed.TrainStepSerial()
+		}
+		if mp := pure.TrainStepSerial(); mm != mp {
+			t.Errorf("step %d: mixed MSE %v != serial MSE %v", step, mm, mp)
+		}
+	}
+	paramsEqual(t, "mixed-vs-serial", mixed.Net, pure.Net)
+}
+
+// TestSampleIntoMatchesSample pins the rng-stream contract that makes the
+// two TrainStep paths interchangeable, and the capacity-reuse behavior.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	r := NewReplayBuffer(16)
+	for i := 0; i < 10; i++ {
+		r.Push(Transition{Action: i})
+	}
+	a := r.Sample(6, rand.New(rand.NewSource(7)))
+	b := r.SampleInto(nil, 6, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Action != b[i].Action {
+			t.Errorf("draw %d: Sample %d != SampleInto %d", i, a[i].Action, b[i].Action)
+		}
+	}
+	// Reused slice: no growth beyond its capacity.
+	buf := make([]Transition, 0, 6)
+	out := r.SampleInto(buf, 6, rand.New(rand.NewSource(8)))
+	if &out[0] != &buf[:1][0] {
+		t.Error("SampleInto must reuse the destination's capacity")
+	}
+}
+
+// TestTrainStepZeroAllocSteadyState pins the headline memory contract: after
+// warm-up a full batched training step — sampling, batching, three network
+// passes, backward, clip, update, target sync — allocates nothing.
+func TestTrainStepZeroAllocSteadyState(t *testing.T) {
+	a := NewAgent(nn.NavNetSpec(), nn.E2E, Options{
+		Seed: 65, BatchSize: 8, LR: 0.01, TargetSync: 1, DoubleDQN: true,
+	})
+	fillReplay(a, 32, 66)
+	a.TrainStep() // warm-up
+	a.TrainStep()
+	if avg := testing.AllocsPerRun(10, func() { a.TrainStep() }); avg != 0 {
+		t.Errorf("steady-state TrainStep allocates %v times per call, want 0", avg)
+	}
+}
+
+// TestTrainStepAcceptsNilNextOnTerminal pins serial/batched interchangeability
+// for terminal transitions stored without a next observation: the serial path
+// never reads Next when Done is set, so the batched path must accept it too
+// and produce the same training trajectory.
+func TestTrainStepAcceptsNilNextOnTerminal(t *testing.T) {
+	fill := func(a *Agent) {
+		rng := rand.New(rand.NewSource(91))
+		for i := 0; i < 24; i++ {
+			s := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+			s.RandN(rng, 1)
+			tr := Transition{State: s, Action: rng.Intn(nn.NavNetActions), Reward: rng.Float64()*2 - 1}
+			if i%4 == 0 {
+				tr.Done = true // terminal, no Next stored
+			} else {
+				tr.Next = tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+				tr.Next.RandN(rng, 1)
+			}
+			a.Observe(tr)
+		}
+	}
+	opts := Options{Seed: 92, BatchSize: 8, LR: 0.01, TargetSync: 2}
+	serial := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+	batched := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+	fill(serial)
+	fill(batched)
+	for step := 0; step < 3; step++ {
+		ms, mb := serial.TrainStepSerial(), batched.TrainStep()
+		if ms != mb {
+			t.Errorf("step %d: serial MSE %v != batched MSE %v", step, ms, mb)
+		}
+	}
+	paramsEqual(t, "nil-next", serial.Net, batched.Net)
+}

@@ -55,14 +55,22 @@ func (r *ReplayBuffer) Cap() int { return len(r.buf) }
 // Sample draws n transitions uniformly with replacement. It panics if the
 // buffer is empty.
 func (r *ReplayBuffer) Sample(n int, rng *rand.Rand) []Transition {
+	return r.SampleInto(make([]Transition, 0, n), n, rng)
+}
+
+// SampleInto draws n transitions uniformly with replacement, appending them
+// to dst (normally dst[:0] of a reused slice) and returning the result. It
+// consumes exactly the same rng stream as Sample, so the two are
+// interchangeable in seeded experiments; unlike Sample it allocates nothing
+// once dst has capacity n. It panics if the buffer is empty.
+func (r *ReplayBuffer) SampleInto(dst []Transition, n int, rng *rand.Rand) []Transition {
 	if r.size == 0 {
 		panic("rl: sampling from empty replay buffer")
 	}
-	out := make([]Transition, n)
-	for i := range out {
-		out[i] = r.buf[rng.Intn(r.size)]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[rng.Intn(r.size)])
 	}
-	return out
+	return dst
 }
 
 // Latest returns the most recently pushed transition. It panics if empty.

@@ -23,23 +23,12 @@ type Trainer struct {
 // iteration count (smoothing windows scale with the run length, as the
 // paper's 15000-sample window does for 60k-iteration runs).
 func NewTrainer(w *env.World, a *Agent, iterations int) *Trainer {
-	cumWindow := iterations / 4
-	if cumWindow < 10 {
-		cumWindow = 10
-	}
 	return &Trainer{
 		World:      w,
 		Agent:      a,
-		Tracker:    metrics.NewFlightTracker(cumWindow, 10, maxInt(1, iterations/200)),
+		Tracker:    metrics.NewFlightTracker(max(iterations/4, 10), 10, max(1, iterations/200)),
 		TrainEvery: 4,
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // observation renders the CNN input for the world's current pose.
@@ -76,7 +65,7 @@ func (t *Trainer) Run(iterations int) *metrics.FlightTracker {
 // statistics. This is how the final safe-flight-distance comparison
 // (Fig. 11) is measured.
 func (t *Trainer) Evaluate(steps int) *metrics.FlightTracker {
-	tracker := metrics.NewFlightTracker(maxInt(10, steps/4), 10, maxInt(1, steps/200))
+	tracker := metrics.NewFlightTracker(max(10, steps/4), 10, max(1, steps/200))
 	obs := t.observation()
 	for i := 0; i < steps; i++ {
 		action := t.Agent.Greedy(obs)

@@ -1,0 +1,67 @@
+package tensor
+
+// Arena is a grow-only pool of reusable scratch tensors, the workspace
+// allocator behind the batched training path: every call site reserves a
+// fixed small slot number and asks for the shape it needs each call. The
+// backing storage is kept and reused, so once shapes stabilize (after the
+// first batch — "warm-up") repeated Get calls perform no heap allocation.
+// This mirrors the accelerator's fixed scratchpad buffers (Section V of the
+// paper): capacity is provisioned once, then traffic flows through it.
+//
+// Contents of a returned tensor are unspecified — previous contents may
+// remain. Callers that need zeroed memory must call Zero themselves.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent use;
+// give each goroutine (each layer, each agent) its own.
+type Arena struct {
+	slots []arenaSlot
+}
+
+type arenaSlot struct {
+	buf []float32 // backing storage, grown to the largest size ever requested
+	t   *Tensor   // header for the most recently requested shape
+}
+
+// Get returns the scratch tensor for the given slot, shaped as requested.
+// When the shape matches the previous request for this slot, the exact same
+// *Tensor is returned with its contents intact; otherwise the slot's storage
+// is reused (or grown) under a fresh header.
+func (a *Arena) Get(slot int, shape ...int) *Tensor {
+	if slot < 0 {
+		panic("tensor: negative arena slot")
+	}
+	for slot >= len(a.slots) {
+		a.slots = append(a.slots, arenaSlot{})
+	}
+	s := &a.slots[slot]
+	if s.t != nil && shapeEqual(s.t.shape, shape) {
+		return s.t
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dimension in arena shape")
+		}
+		n *= d
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]float32, n)
+	}
+	// Built directly rather than via FromSlice: the constructor's panic
+	// messages format the shape, which would force every caller's variadic
+	// slice onto the heap and break the zero-allocation contract.
+	s.t = &Tensor{shape: append([]int(nil), shape...), data: s.buf[:n:n]}
+	return s.t
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if d != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package tensor
+
+// useAxpyPanelAsm is false off amd64: axpyPanel runs the portable
+// saxpyRow-per-coefficient loop, which is the kernel's reference semantics.
+const useAxpyPanelAsm = false
+
+// axpyPanelAVX and axpyPanel4AVX exist only so their callers compile
+// everywhere; the guard above keeps them unreachable off amd64.
+func axpyPanelAVX(dst, a, b *float32, sa, k, n int) {
+	panic("tensor: axpyPanelAVX without amd64")
+}
+
+func axpyPanel4AVX(dst, a, b *float32, aRow, aCol, k, n int) {
+	panic("tensor: axpyPanel4AVX without amd64")
+}

@@ -8,6 +8,13 @@ import "fmt"
 // bit-identical to its textbook serial loop for any GOMAXPROCS, which is what
 // lets the parallel experiment engine (internal/core) promise results equal
 // to the serial schedule.
+//
+// Each kernel's row loop is a named function dispatched through runRows:
+// small kernels call it directly on the calling goroutine with no closure in
+// sight, so the steady-state training path performs zero heap allocations
+// (the batched-path contract, pinned by AllocsPerRun tests); only kernels
+// large enough to fan out pay for the closure and WaitGroup of the
+// goroutine schedule.
 
 // gemmBlockK is the reduction-panel height: a panel of B (gemmBlockK x n
 // float32s) is kept hot across all rows of A instead of streaming B once per
@@ -45,15 +52,9 @@ func MatMul(a, b *Tensor) *Tensor {
 func transposeInto(dst, src []float32, m, n int) {
 	const tile = 32
 	for i0 := 0; i0 < m; i0 += tile {
-		i1 := i0 + tile
-		if i1 > m {
-			i1 = m
-		}
+		i1 := min(i0+tile, m)
 		for j0 := 0; j0 < n; j0 += tile {
-			j1 := j0 + tile
-			if j1 > n {
-				j1 = n
-			}
+			j1 := min(j0+tile, n)
 			for i := i0; i < i1; i++ {
 				row := src[i*n : (i+1)*n]
 				for j := j0; j < j1; j++ {
@@ -75,39 +76,40 @@ func MatMulAccum(dst, a, b *Tensor) {
 	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != b.Dim(1) {
 		panic(fmt.Sprintf("tensor: MatMulAccum shape mismatch %v += %v x %v", dst.shape, a.shape, b.shape))
 	}
-	matMulAccumInto(dst.data, a.data, b.data, m, k, b.Dim(1))
+	n := b.Dim(1)
+	cd, ad, bd := dst.data, a.data, b.data
+	if serialRows(m, m*k*n) {
+		accumRows(cd, ad, bd, k, n, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) { accumRows(cd, ad, bd, k, n, lo, hi) })
+	}
 }
 
-// matMulAccumInto is the shared blocked ikj kernel: panels of B stay cache
-// hot across the rows of each chunk, and zero A entries skip their row of B.
-// Per output element the products are added in ascending p order with direct
-// accumulation onto the destination, exactly as the naive triple loop does —
-// the accumulate semantics pin the kernel to this saxpy form, because a
-// register-blocked dot product would fold the whole update into one addition
-// and round differently.
-func matMulAccumInto(cd, ad, bd []float32, m, k, n int) {
-	parallelRows(m, m*k*n, func(lo, hi int) {
-		for p0 := 0; p0 < k; p0 += gemmBlockK {
-			p1 := p0 + gemmBlockK
-			if p1 > k {
-				p1 = k
-			}
-			for i := lo; i < hi; i++ {
-				arow := ad[i*k : (i+1)*k]
-				crow := cd[i*n : (i+1)*n]
-				for p := p0; p < p1; p++ {
-					av := arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := bd[p*n : (p+1)*n]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
+// accumRows is the shared blocked ikj kernel over output rows [lo, hi):
+// panels of B stay cache hot across the rows of each chunk, and zero A
+// entries skip their row of B. Per output element the products are added in
+// ascending p order with direct accumulation onto the destination, exactly
+// as the naive triple loop does — the accumulate semantics pin the kernel to
+// this saxpy form, because a register-blocked dot product would fold the
+// whole update into one addition and round differently.
+func accumRows(cd, ad, bd []float32, k, n, lo, hi int) {
+	for p0 := 0; p0 < k; p0 += gemmBlockK {
+		p1 := min(p0+gemmBlockK, k)
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p := p0; p < p1; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
 				}
 			}
 		}
-	})
+	}
 }
 
 // MatMulNTInto computes dst = A x B^T for A (m x k), B (n x k) and a
@@ -125,46 +127,50 @@ func MatMulNTInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulNTInto shape mismatch %v = %v x %v^T", dst.shape, a.shape, b.shape))
 	}
 	ad, bd, cd := a.data, b.data, dst.data
-	parallelRows(n, m*k*n, func(lo, hi int) {
-		for j0 := lo; j0 < hi; j0 += ntTileJ {
-			j1 := j0 + ntTileJ
-			if j1 > hi {
-				j1 = hi
-			}
-			i := 0
-			for ; i+3 < m; i += 4 {
-				a0 := ad[i*k : (i+1)*k]
-				a1 := ad[(i+1)*k : (i+2)*k]
-				a2 := ad[(i+2)*k : (i+3)*k]
-				a3 := ad[(i+3)*k : (i+4)*k]
-				for j := j0; j < j1; j++ {
-					brow := bd[j*k : (j+1)*k]
-					var s0, s1, s2, s3 float32
-					for t, bv := range brow {
-						s0 += a0[t] * bv
-						s1 += a1[t] * bv
-						s2 += a2[t] * bv
-						s3 += a3[t] * bv
-					}
-					cd[i*n+j] = s0
-					cd[(i+1)*n+j] = s1
-					cd[(i+2)*n+j] = s2
-					cd[(i+3)*n+j] = s3
+	if serialRows(n, m*k*n) {
+		ntCols(cd, ad, bd, m, k, n, 0, n)
+	} else {
+		parallelRows(n, func(lo, hi int) { ntCols(cd, ad, bd, m, k, n, lo, hi) })
+	}
+}
+
+// ntCols computes the dst columns [lo, hi) of the A*B^T kernel.
+func ntCols(cd, ad, bd []float32, m, k, n, lo, hi int) {
+	for j0 := lo; j0 < hi; j0 += ntTileJ {
+		j1 := min(j0+ntTileJ, hi)
+		i := 0
+		for ; i+3 < m; i += 4 {
+			a0 := ad[i*k : (i+1)*k]
+			a1 := ad[(i+1)*k : (i+2)*k]
+			a2 := ad[(i+2)*k : (i+3)*k]
+			a3 := ad[(i+3)*k : (i+4)*k]
+			for j := j0; j < j1; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s0, s1, s2, s3 float32
+				for t, bv := range brow {
+					s0 += a0[t] * bv
+					s1 += a1[t] * bv
+					s2 += a2[t] * bv
+					s3 += a3[t] * bv
 				}
-			}
-			for ; i < m; i++ {
-				arow := ad[i*k : (i+1)*k]
-				for j := j0; j < j1; j++ {
-					brow := bd[j*k : (j+1)*k]
-					var s float32
-					for t, bv := range brow {
-						s += arow[t] * bv
-					}
-					cd[i*n+j] = s
-				}
+				cd[i*n+j] = s0
+				cd[(i+1)*n+j] = s1
+				cd[(i+2)*n+j] = s2
+				cd[(i+3)*n+j] = s3
 			}
 		}
-	})
+		for ; i < m; i++ {
+			arow := ad[i*k : (i+1)*k]
+			for j := j0; j < j1; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for t, bv := range brow {
+					s += arow[t] * bv
+				}
+				cd[i*n+j] = s
+			}
+		}
+	}
 }
 
 // MatMulTNAccum accumulates dst += A^T x B for A (r x m), B (r x n) and a
@@ -183,44 +189,51 @@ func MatMulTNAccum(dst, a, b *Tensor) {
 	}
 	n := b.Dim(1)
 	ad, bd, cd := a.data, b.data, dst.data
-	parallelRows(m, r*m*n, func(lo, hi int) {
-		i := lo
-		for ; i+3 < hi; i += 4 {
-			d0 := cd[i*n : (i+1)*n]
-			d1 := cd[(i+1)*n : (i+2)*n]
-			d2 := cd[(i+2)*n : (i+3)*n]
-			d3 := cd[(i+3)*n : (i+4)*n]
-			for t := 0; t < r; t++ {
-				g0 := ad[t*m+i]
-				g1 := ad[t*m+i+1]
-				g2 := ad[t*m+i+2]
-				g3 := ad[t*m+i+3]
-				if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
-					continue
-				}
-				brow := bd[t*n : (t+1)*n]
-				for q, bv := range brow {
-					d0[q] += g0 * bv
-					d1[q] += g1 * bv
-					d2[q] += g2 * bv
-					d3[q] += g3 * bv
-				}
+	if serialRows(m, r*m*n) {
+		tnRows(cd, ad, bd, r, m, n, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) { tnRows(cd, ad, bd, r, m, n, lo, hi) })
+	}
+}
+
+// tnRows accumulates the dst rows [lo, hi) of the A^T*B kernel.
+func tnRows(cd, ad, bd []float32, r, m, n, lo, hi int) {
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		d0 := cd[i*n : (i+1)*n]
+		d1 := cd[(i+1)*n : (i+2)*n]
+		d2 := cd[(i+2)*n : (i+3)*n]
+		d3 := cd[(i+3)*n : (i+4)*n]
+		for t := 0; t < r; t++ {
+			g0 := ad[t*m+i]
+			g1 := ad[t*m+i+1]
+			g2 := ad[t*m+i+2]
+			g3 := ad[t*m+i+3]
+			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
+				continue
+			}
+			brow := bd[t*n : (t+1)*n]
+			for q, bv := range brow {
+				d0[q] += g0 * bv
+				d1[q] += g1 * bv
+				d2[q] += g2 * bv
+				d3[q] += g3 * bv
 			}
 		}
-		for ; i < hi; i++ {
-			drow := cd[i*n : (i+1)*n]
-			for t := 0; t < r; t++ {
-				g := ad[t*m+i]
-				if g == 0 {
-					continue
-				}
-				brow := bd[t*n : (t+1)*n]
-				for q, bv := range brow {
-					drow[q] += g * bv
-				}
+	}
+	for ; i < hi; i++ {
+		drow := cd[i*n : (i+1)*n]
+		for t := 0; t < r; t++ {
+			g := ad[t*m+i]
+			if g == 0 {
+				continue
+			}
+			brow := bd[t*n : (t+1)*n]
+			for q, bv := range brow {
+				drow[q] += g * bv
 			}
 		}
-	})
+	}
 }
 
 // MatVec computes y = A x v for a 2-D tensor A (m x k) and a length-k
@@ -235,32 +248,39 @@ func MatVec(a *Tensor, v []float32) []float32 {
 	}
 	y := make([]float32, m)
 	ad := a.data
-	parallelRows(m, m*k, func(lo, hi int) {
-		i := lo
-		for ; i+3 < hi; i += 4 {
-			r0 := ad[i*k : (i+1)*k]
-			r1 := ad[(i+1)*k : (i+2)*k]
-			r2 := ad[(i+2)*k : (i+3)*k]
-			r3 := ad[(i+3)*k : (i+4)*k]
-			var s0, s1, s2, s3 float32
-			for j, vv := range v {
-				s0 += r0[j] * vv
-				s1 += r1[j] * vv
-				s2 += r2[j] * vv
-				s3 += r3[j] * vv
-			}
-			y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
-		}
-		for ; i < hi; i++ {
-			row := ad[i*k : (i+1)*k]
-			var s float32
-			for j, w := range row {
-				s += w * v[j]
-			}
-			y[i] = s
-		}
-	})
+	if serialRows(m, m*k) {
+		matVecRows(y, ad, v, k, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) { matVecRows(y, ad, v, k, lo, hi) })
+	}
 	return y
+}
+
+// matVecRows reduces the output rows [lo, hi) of the A*v kernel.
+func matVecRows(y, ad, v []float32, k, lo, hi int) {
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		r0 := ad[i*k : (i+1)*k]
+		r1 := ad[(i+1)*k : (i+2)*k]
+		r2 := ad[(i+2)*k : (i+3)*k]
+		r3 := ad[(i+3)*k : (i+4)*k]
+		var s0, s1, s2, s3 float32
+		for j, vv := range v {
+			s0 += r0[j] * vv
+			s1 += r1[j] * vv
+			s2 += r2[j] * vv
+			s3 += r3[j] * vv
+		}
+		y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
+	}
+	for ; i < hi; i++ {
+		row := ad[i*k : (i+1)*k]
+		var s float32
+		for j, w := range row {
+			s += w * v[j]
+		}
+		y[i] = s
+	}
 }
 
 // MatVecT computes y = A^T x v for a 2-D tensor A (m x k) and a length-m
@@ -278,20 +298,27 @@ func MatVecT(a *Tensor, v []float32) []float32 {
 	}
 	y := make([]float32, k)
 	ad := a.data
-	parallelRows(k, m*k, func(lo, hi int) {
-		yseg := y[lo:hi]
-		for i := 0; i < m; i++ {
-			s := v[i]
-			if s == 0 {
-				continue
-			}
-			row := ad[i*k+lo : i*k+hi]
-			for j, w := range row {
-				yseg[j] += s * w
-			}
-		}
-	})
+	if serialRows(k, m*k) {
+		matVecTCols(y, ad, v, m, k, 0, k)
+	} else {
+		parallelRows(k, func(lo, hi int) { matVecTCols(y, ad, v, m, k, lo, hi) })
+	}
 	return y
+}
+
+// matVecTCols reduces the output columns [lo, hi) of the A^T*v kernel.
+func matVecTCols(y, ad, v []float32, m, k, lo, hi int) {
+	yseg := y[lo:hi]
+	for i := 0; i < m; i++ {
+		s := v[i]
+		if s == 0 {
+			continue
+		}
+		row := ad[i*k+lo : i*k+hi]
+		for j, w := range row {
+			yseg[j] += s * w
+		}
+	}
 }
 
 // Outer accumulates the outer product dst += a ⊗ b where dst is len(a) x
@@ -302,16 +329,23 @@ func Outer(dst *Tensor, a, b []float32) {
 	}
 	n := len(b)
 	dd := dst.data
-	parallelRows(len(a), len(a)*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			av := a[i]
-			if av == 0 {
-				continue
-			}
-			row := dd[i*n : (i+1)*n]
-			for j, bv := range b {
-				row[j] += av * bv
-			}
+	if serialRows(len(a), len(a)*n) {
+		outerRows(dd, a, b, n, 0, len(a))
+	} else {
+		parallelRows(len(a), func(lo, hi int) { outerRows(dd, a, b, n, lo, hi) })
+	}
+}
+
+// outerRows accumulates the dst rows [lo, hi) of the outer-product kernel.
+func outerRows(dd, a, b []float32, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		av := a[i]
+		if av == 0 {
+			continue
 		}
-	})
+		row := dd[i*n : (i+1)*n]
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
 }

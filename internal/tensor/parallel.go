@@ -11,28 +11,32 @@ import (
 // that are themselves parallel.
 const parallelFlops = 1 << 18
 
+// serialRows reports whether a kernel over n rows and the given
+// multiply-add estimate should run on the calling goroutine. Kernel entry
+// points branch on it before constructing the closure parallelRows needs, so
+// the serial schedule — the common case inside experiment workers, and the
+// one the zero-allocation training contract is pinned on — allocates
+// nothing.
+func serialRows(n, flops int) bool {
+	return n <= 1 || flops < parallelFlops || runtime.GOMAXPROCS(0) <= 1
+}
+
 // parallelRows splits the row range [0, n) into contiguous chunks and runs
-// fn(lo, hi) for each chunk, concurrently when the kernel is large enough
-// (flops is the caller's estimate of total multiply-adds). Every output row
-// is owned by exactly one chunk and each chunk performs the same arithmetic
-// in the same order as the serial loop, so results are bit-identical to
-// fn(0, n) regardless of GOMAXPROCS or scheduling.
-func parallelRows(n, flops int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || flops < parallelFlops {
+// fn(lo, hi) for each chunk concurrently. Every output row is owned by
+// exactly one chunk and each chunk performs the same arithmetic in the same
+// order as the serial loop, so results are bit-identical to fn(0, n)
+// regardless of GOMAXPROCS or scheduling. Callers gate on serialRows first;
+// called below the threshold it still degrades gracefully to a direct call.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := min(runtime.GOMAXPROCS(0), n)
+	if workers <= 1 {
 		fn(0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()

@@ -1,0 +1,59 @@
+//go:build amd64
+
+package tensor
+
+// SIMD rectifier kernels for the batched path. Bit-identity with the scalar
+// branches is an instruction-semantics argument rather than a rounding one:
+//
+//   - reluPtrAVX computes dst[i] = MAXPS(src[i], +0). MAXPS returns its
+//     second operand when the inputs compare equal (so -0 becomes +0, like
+//     the scalar `else dst[i] = 0` branch) and when either input is NaN (so
+//     NaN becomes +0, exactly what `v > 0` being false produces).
+//   - reluGradPtrAVX computes dst[i] = grad[i] AND (ref[i] > 0). The ordered
+//     greater-than compare is false for NaN refs, and the bitwise AND either
+//     preserves every gradient bit or yields +0 — the two outcomes of the
+//     scalar mask branch.
+
+//go:noescape
+func reluPtrAVX(dst, src *float32, n int)
+
+//go:noescape
+func reluGradPtrAVX(dst, grad, ref *float32, n int)
+
+// reluRow writes dst[i] = src[i] if src[i] > 0 else +0, for i < len(dst);
+// src must be at least as long as dst.
+func reluRow(dst, src []float32) {
+	if len(dst) == 0 {
+		return
+	}
+	if hasAVX {
+		reluPtrAVX(&dst[0], &src[0], len(dst))
+		return
+	}
+	for i, v := range src[:len(dst)] {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// reluGradRow writes dst[i] = grad[i] if ref[i] > 0 else +0, for
+// i < len(dst); grad and ref must be at least as long as dst.
+func reluGradRow(dst, grad, ref []float32) {
+	if len(dst) == 0 {
+		return
+	}
+	if hasAVX {
+		reluGradPtrAVX(&dst[0], &grad[0], &ref[0], len(dst))
+		return
+	}
+	for i, r := range ref[:len(dst)] {
+		if r > 0 {
+			dst[i] = grad[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,87 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func reluPtrAVX(dst, src *float32, n int)
+// dst[i] = MAXPS(src[i], +0): positive values pass through, everything else
+// (negatives, both zeros, NaN) becomes +0 — the exact outcomes of the scalar
+// `if v > 0` branch.
+TEXT ·reluPtrAVX(SB), NOSPLIT, $0-24
+	MOVQ   dst+0(FP), DI
+	MOVQ   src+8(FP), SI
+	MOVQ   n+16(FP), CX
+	VXORPS Y0, Y0, Y0        // +0 in every lane; returned on ties and NaN
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     tail8
+
+loop8:
+	VMOVUPS (SI), Y1
+	VMAXPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    BX
+	JNZ     loop8
+
+tail8:
+	ANDQ $7, CX
+	JZ   done8
+
+tailloop8:
+	VMOVSS (SI), X1
+	VMAXSS X0, X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JNZ    tailloop8
+
+done8:
+	VZEROUPPER
+	RET
+
+// func reluGradPtrAVX(dst, grad, ref *float32, n int)
+// dst[i] = grad[i] AND (ref[i] > 0 ? all-ones : 0): the ordered greater-than
+// compare is false for NaN, and the AND preserves gradient bits exactly or
+// yields +0 — the two outcomes of the scalar mask branch.
+TEXT ·reluGradPtrAVX(SB), NOSPLIT, $0-32
+	MOVQ   dst+0(FP), DI
+	MOVQ   grad+8(FP), SI
+	MOVQ   ref+16(FP), DX
+	MOVQ   n+24(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     gtail8
+
+gloop8:
+	VMOVUPS (DX), Y1
+	VCMPPS  $0x0e, Y0, Y1, Y1  // ref > +0, ordered (false for NaN)
+	VANDPS  (SI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    BX
+	JNZ     gloop8
+
+gtail8:
+	ANDQ $7, CX
+	JZ   gdone8
+
+gtailloop8:
+	VMOVSS (DX), X1
+	VCMPSS $0x0e, X0, X1, X1
+	VMOVSS (SI), X2
+	VANDPS X2, X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DX
+	ADDQ   $4, DI
+	DECQ   CX
+	JNZ    gtailloop8
+
+gdone8:
+	VZEROUPPER
+	RET

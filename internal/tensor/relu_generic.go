@@ -1,0 +1,29 @@
+//go:build !amd64
+
+package tensor
+
+// reluRow writes dst[i] = src[i] if src[i] > 0 else +0, for i < len(dst);
+// src must be at least as long as dst. Portable reference implementation;
+// amd64 builds replace it with a MAXPS kernel whose tie/NaN semantics match
+// this branch exactly (see relu_amd64.go).
+func reluRow(dst, src []float32) {
+	for i, v := range src[:len(dst)] {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// reluGradRow writes dst[i] = grad[i] if ref[i] > 0 else +0, for
+// i < len(dst); grad and ref must be at least as long as dst.
+func reluGradRow(dst, grad, ref []float32) {
+	for i, r := range ref[:len(dst)] {
+		if r > 0 {
+			dst[i] = grad[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -129,14 +129,14 @@ func (t *Tensor) Scale(s float32) {
 }
 
 // AddScaled accumulates s*src into t elementwise. Shapes must match in
-// length.
+// length. It is the saxpy primitive itself (one multiply rounding, one add
+// rounding per element), so the SIMD kernel is bit-identical to the plain
+// loop.
 func (t *Tensor) AddScaled(src *Tensor, s float32) {
 	if len(src.data) != len(t.data) {
 		panic("tensor: AddScaled length mismatch")
 	}
-	for i, v := range src.data {
-		t.data[i] += s * v
-	}
+	saxpyRow(t.data, src.data, s)
 }
 
 // Add accumulates src into t elementwise.
