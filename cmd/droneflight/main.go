@@ -1,11 +1,16 @@
 // Command droneflight runs a single transfer-learning + online-RL flight
-// experiment in one environment and reports the learning curves and safe
+// experiment in one scenario and reports the learning curves and safe
 // flight distance.
 //
 // Usage:
 //
-//	droneflight [-env apartment|house|forest|town] [-config L2|L3|L4|E2E]
+//	droneflight [-env <scenario>] [-config L2|L3|L4|E2E]
 //	            [-meta 1000] [-online 800] [-eval 600] [-seed 1] [-map]
+//	droneflight -list
+//
+// The -env flag names any scenario from the catalog (droneflight -list
+// prints it); the short aliases apartment, house, forest and town select
+// the paper's four test environments.
 package main
 
 import (
@@ -22,21 +27,47 @@ import (
 	"dronerl/internal/transfer"
 )
 
+// aliases maps the historical short names (with their historical seed
+// offsets) to catalog scenarios.
+var aliases = map[string]string{
+	"apartment": "indoor-apartment",
+	"house":     "indoor-house",
+	"forest":    "outdoor-forest",
+	"town":      "outdoor-town",
+}
+
+// aliasSeedOffset reproduces the pre-registry seed derivation for the four
+// short aliases, so `droneflight -env apartment` flies the exact world it
+// always has.
+var aliasSeedOffset = map[string]int64{
+	"indoor-apartment": 1, "indoor-house": 2, "outdoor-forest": 3, "outdoor-town": 4,
+}
+
 func main() {
-	envName := flag.String("env", "apartment", "apartment, house, forest or town")
+	envName := flag.String("env", "apartment", "scenario name (see -list) or a short alias")
 	cfgName := flag.String("config", "L3", "L2, L3, L4 or E2E")
 	metaIters := flag.Int("meta", 1000, "meta-environment training iterations")
 	onlineIters := flag.Int("online", 800, "online RL iterations in the test environment")
 	evalSteps := flag.Int("eval", 600, "greedy evaluation steps")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	showMap := flag.Bool("map", false, "print the environment map")
+	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	saveModel := flag.String("save", "", "write the meta-model snapshot to this file after meta-training")
 	loadModel := flag.String("load", "", "skip meta-training and load a snapshot from this file")
 	flag.Parse()
 
+	if *list {
+		t := report.New("scenario catalog", "name", "kind", "description")
+		for _, s := range env.Scenarios() {
+			t.Add(s.Name, s.Kind, s.Description)
+		}
+		fmt.Println(t.String())
+		return
+	}
+
 	world := pickEnv(*envName, *seed)
 	if world == nil {
-		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (droneflight -list shows the catalog)\n", *envName)
 		os.Exit(2)
 	}
 	cfg, ok := pickConfig(*cfgName)
@@ -108,18 +139,18 @@ func main() {
 	fmt.Println(t.String())
 }
 
+// pickEnv resolves a scenario by catalog name or short alias and builds its
+// world. Alias lookups keep the historical per-world seed offsets.
 func pickEnv(name string, seed int64) *env.World {
-	switch strings.ToLower(name) {
-	case "apartment":
-		return env.IndoorApartment(seed + 1)
-	case "house":
-		return env.IndoorHouse(seed + 2)
-	case "forest":
-		return env.OutdoorForest(seed + 3)
-	case "town":
-		return env.OutdoorTown(seed + 4)
+	key := strings.ToLower(name)
+	if full, ok := aliases[key]; ok {
+		key = full
 	}
-	return nil
+	s, ok := env.LookupScenario(key)
+	if !ok {
+		return nil
+	}
+	return s.Build(seed + aliasSeedOffset[key])
 }
 
 func pickConfig(name string) (nn.Config, bool) {

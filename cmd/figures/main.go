@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"dronerl/internal/core"
@@ -26,6 +28,7 @@ func main() {
 	artifact := flag.String("artifact", "all", "which artifact to regenerate")
 	scaleFlag := flag.String("scale", "quick", "flight experiment scale: quick or full")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs for the hardware artifacts into this directory")
+	progress := flag.Bool("progress", false, "stream per-run progress of the flight experiment to stderr")
 	flag.Parse()
 
 	scale := core.QuickScale()
@@ -38,12 +41,27 @@ func main() {
 	if needsFlight[*artifact] {
 		fmt.Fprintf(os.Stderr, "running flight experiment (%d meta + 4x4x%d online iterations)...\n",
 			scale.MetaIters, scale.OnlineIters)
-		var err error
-		flight, err = core.RunFlightExperiment(scale)
+		// Ctrl-C cancels cleanly at the next run boundary instead of
+		// killing the process mid-write.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		exp, err := core.NewFlightExperiment(scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flight experiment failed:", err)
 			os.Exit(1)
 		}
+		var runOpts []core.RunOption
+		if *progress {
+			runOpts = append(runOpts, core.WithProgress(func(ev core.Event) {
+				fmt.Fprintln(os.Stderr, ev)
+			}))
+		}
+		err = core.Run(ctx, exp, runOpts...)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight experiment failed:", err)
+			os.Exit(1)
+		}
+		flight = exp.Report()
 	}
 	hwrep := core.RunHardwareExperiment()
 

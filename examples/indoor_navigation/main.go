@@ -1,61 +1,64 @@
 // Indoor navigation: compares all four training topologies (L2, L3, L4,
 // E2E) in the indoor apartment — the paper's tightest environment
 // (d_min = 0.7 m) — starting from one shared indoor meta-model. This is a
-// single-environment slice of Fig. 10/11.
+// single-environment slice of Fig. 10/11, expressed as a one-scenario
+// flight experiment on the composable API: the engine meta-trains the
+// indoor model, fans the per-topology online runs across all cores, and
+// streams per-run progress while it works.
 //
 //	go run ./examples/indoor_navigation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dronerl/internal/env"
+	"dronerl"
 	"dronerl/internal/nn"
 	"dronerl/internal/report"
-	"dronerl/internal/rl"
-	"dronerl/internal/transfer"
 )
 
 func main() {
-	const seed = 11
-	spec := nn.NavNetSpec()
-	meta := env.IndoorMeta(seed)
-	fmt.Println("meta-training E2E on the indoor meta-environment (1200 iterations)...")
-	snap, _ := transfer.MetaTrain(meta, spec, 1200, rl.Options{
-		Seed: seed, BatchSize: 4, EpsDecaySteps: 600,
-	})
+	spec, err := dronerl.New(
+		dronerl.WithSeed(11),
+		dronerl.WithScenarios("indoor-apartment"),
+		dronerl.WithMetaIters(1200),
+		dronerl.WithOnlineIters(800),
+		dronerl.WithEvalSteps(600),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := spec.Flight()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flying the indoor apartment under every topology...")
+	err = dronerl.Run(context.Background(), exp,
+		dronerl.WithProgress(func(ev dronerl.Event) {
+			if ev.Phase == "meta-train" {
+				fmt.Printf("  meta-model trained on %q (reward %.3f)\n", ev.Env, ev.Reward)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	const evalSteps = 600
+	er := exp.Report().Envs[0]
 	t := report.New("indoor apartment: topology comparison",
-		"Config", "trainable weights", "reward curve", "eval SFD m", "eval crashes")
-	var e2eSFD float64
-	sfds := make(map[nn.Config]float64)
-	for _, cfg := range nn.Configs {
-		world := env.IndoorApartment(seed + 1) // same layout for every run
-		res, err := transfer.RunOnline(snap, world, spec, cfg, 800, evalSteps, rl.Options{
-			Seed: seed + 2 + int64(cfg), BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: 400,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Smoothed distance-per-crash over the fixed evaluation flight
-		// (robust when a run finishes crash-free).
-		sfd := float64(evalSteps) * world.DFrame / float64(res.Eval.Crashes()+1)
-		sfds[cfg] = sfd
-		if cfg == nn.E2E {
-			e2eSFD = sfd
-		}
-		t.Addf(cfg.String(), spec.TrainedWeights(cfg),
-			report.Sparkline(res.Training.RewardSeries(), 36),
-			sfd, res.Eval.Crashes())
+		"Config", "reward curve", "eval SFD m", "normalized vs E2E", "crashes")
+	for _, run := range er.Runs {
+		t.Addf(run.Config.String(),
+			report.Sparkline(run.RewardSeries, 36),
+			run.SFD, run.NormalizedSFD, run.Crashes)
 	}
 	fmt.Println(t.String())
 
-	if e2eSFD > 0 {
-		fmt.Println("normalized SFD vs E2E (Fig. 11 view):")
-		for _, cfg := range []nn.Config{nn.L2, nn.L3, nn.L4} {
-			fmt.Printf("  %-3s %.3f\n", cfg, sfds[cfg]/e2eSFD)
+	fmt.Println("normalized SFD vs E2E (Fig. 11 view):")
+	for _, cfg := range []nn.Config{nn.L2, nn.L3, nn.L4} {
+		if run, ok := er.Run(cfg); ok {
+			fmt.Printf("  %-3s %.3f\n", cfg, run.NormalizedSFD)
 		}
 	}
 }

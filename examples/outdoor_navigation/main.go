@@ -5,60 +5,53 @@
 // topologies — the effect the paper reports in Fig. 11 and attributes to
 // "large disparities [between] the meta-environment and test environments".
 //
+// With the composable API this is just a two-scenario flight experiment:
+// the engine notices both scenarios share the outdoor kind, trains the
+// meta-model once, and sweeps every topology in both worlds.
+//
 //	go run ./examples/outdoor_navigation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dronerl/internal/env"
-	"dronerl/internal/nn"
+	"dronerl"
 	"dronerl/internal/report"
-	"dronerl/internal/rl"
-	"dronerl/internal/transfer"
 )
 
 func main() {
-	const seed = 21
-	spec := nn.NavNetSpec()
-	meta := env.OutdoorMeta(seed)
-	fmt.Println("meta-training E2E on the outdoor meta-environment (1200 iterations)...")
-	snap, _ := transfer.MetaTrain(meta, spec, 1200, rl.Options{
-		Seed: seed, BatchSize: 4, EpsDecaySteps: 600,
-	})
-
-	worlds := map[string]func() *env.World{
-		"outdoor forest": func() *env.World { return env.OutdoorForest(seed + 1) },
-		"outdoor town":   func() *env.World { return env.OutdoorTown(seed + 2) },
+	spec, err := dronerl.New(
+		dronerl.WithSeed(21),
+		dronerl.WithScenarios("outdoor-forest", "outdoor-town"),
+		dronerl.WithMetaIters(1200),
+		dronerl.WithOnlineIters(800),
+		dronerl.WithEvalSteps(600),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	const evalSteps = 600
+	exp, err := spec.Flight()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training one outdoor meta-model and deploying to forest and town...")
+	if err := dronerl.Run(context.Background(), exp); err != nil {
+		log.Fatal(err)
+	}
+
 	t := report.New("outdoor transfer gap (L2 = most frozen, E2E = fully plastic)",
 		"Environment", "Config", "eval SFD m", "normalized vs E2E")
-	for _, name := range []string{"outdoor forest", "outdoor town"} {
-		sfd := map[nn.Config]float64{}
-		for _, cfg := range nn.Configs {
-			w := worlds[name]()
-			res, err := transfer.RunOnline(snap, w, spec, cfg, 800, evalSteps, rl.Options{
-				Seed: seed + 3 + int64(cfg), BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: 400,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			// Smoothed distance-per-crash over the fixed evaluation
-			// flight (robust when a run finishes crash-free).
-			sfd[cfg] = float64(evalSteps) * w.DFrame / float64(res.Eval.Crashes()+1)
-		}
-		for _, cfg := range nn.Configs {
-			norm := 0.0
-			if sfd[nn.E2E] > 0 {
-				norm = sfd[cfg] / sfd[nn.E2E]
-			}
-			t.Addf(name, cfg.String(), sfd[cfg], norm)
+	for _, er := range exp.Report().Envs {
+		for _, run := range er.Runs {
+			t.Addf(er.Env, run.Config.String(), run.SFD, run.NormalizedSFD)
 		}
 	}
 	fmt.Println(t.String())
-	fmt.Println("expectation (paper Fig. 11): the town's frozen-feature runs trail E2E")
-	fmt.Println("by more than the forest's, because its box-world features were never")
-	fmt.Println("in the meta-model; richer meta-environments close the gap.")
+
+	for _, er := range exp.Report().Envs {
+		fmt.Printf("%s: worst frozen-topology degradation vs E2E: %.1f%%\n",
+			er.Env, er.WorstLiDegradationPct)
+	}
 }

@@ -1,9 +1,10 @@
-// Quickstart: the smallest end-to-end use of the library.
+// Quickstart: the smallest end-to-end use of the library's composable API.
 //
-// It prices the hardware (one table), meta-trains a small model, transfers
-// it to a test environment with only the last three FC layers trainable
-// (the paper's L3 topology), and reports how far the drone flies between
-// crashes before and after online learning.
+// It prices the hardware (one table), builds a validated experiment Spec
+// with functional options, picks a scenario from the catalog, meta-trains a
+// small model, deploys it with only the last three FC layers trainable (the
+// paper's L3 topology), and reports how far the drone flies between crashes
+// before and after online learning.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,6 +14,7 @@ import (
 	"log"
 
 	"dronerl"
+	"dronerl/internal/env"
 	"dronerl/internal/metrics"
 	"dronerl/internal/rl"
 )
@@ -24,18 +26,33 @@ func main() {
 	fmt.Printf("hardware model: training the last 4 FC layers instead of the whole net\n")
 	fmt.Printf("  cuts per-iteration latency by %.1f%% and energy by %.1f%% (paper: 79.4%%/83.45%%)\n\n", lat, en)
 
-	// 2. Algorithm: transfer learning then online RL on the last layers.
-	world := dronerl.TestEnvironments(7)[0] // indoor apartment
+	// 2. A validated Spec: topology, seed and hyper-parameters in one
+	// place. Inconsistent combinations fail here, not mid-flight.
+	spec, err := dronerl.New(
+		dronerl.WithTopology(dronerl.L3),
+		dronerl.WithSeed(8),
+		dronerl.WithBatchSize(4),
+		dronerl.WithEpsilon(0.5, 0.05),
+		dronerl.WithEpsDecaySteps(300),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A scenario from the catalog (dronerl.Scenarios lists all).
+	world := buildScenario("indoor-apartment", 8)
 	fmt.Printf("meta-training on the %s meta-environment...\n", world.Kind)
 	snap := dronerl.MetaTrain(world, 800, rl.Options{Seed: 7, BatchSize: 4, EpsDecaySteps: 400})
 
-	agent, err := dronerl.Deploy(snap, dronerl.L3, rl.Options{Seed: 8, BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: 300})
+	// 4. Transfer: download the meta-model into an agent frozen per L3.
+	agent, err := spec.Deploy(snap)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deployed to %q: %d of %d weights trainable (L3)\n",
 		world.Name, agent.Net.TrainableWeightCount(), agent.Net.WeightCount())
 
+	// 5. Online RL in the deployed world.
 	trainer := rl.NewTrainer(world, agent, 600)
 	before := trainer.Evaluate(400)
 	trainer.Run(600)
@@ -43,6 +60,15 @@ func main() {
 
 	fmt.Printf("\nsafe flight distance before online RL: %s\n", sfd(before, world.DFrame, 400))
 	fmt.Printf("safe flight distance after  online RL: %s\n", sfd(after, world.DFrame, 400))
+}
+
+// buildScenario resolves a catalog scenario and builds its world.
+func buildScenario(name string, seed int64) *env.World {
+	s, ok := env.LookupScenario(name)
+	if !ok {
+		log.Fatalf("scenario %q not in catalog", name)
+	}
+	return s.Build(seed)
 }
 
 // sfd renders a safe-flight-distance result, crediting the full flown

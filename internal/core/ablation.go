@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
+
 	"dronerl/internal/env"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
 	"dronerl/internal/transfer"
 )
 
-// Ablations of the design choices DESIGN.md calls out.
+// Ablations of the design choices DESIGN.md calls out, expressed as
+// Experiments on the unified engine.
 
 // RicherMetaResult compares the outdoor-town transfer gap under the
 // standard cylinder-dominated outdoor meta-environment against the richer
@@ -22,62 +25,120 @@ type RicherMetaResult struct {
 	ImprovementPct float64
 }
 
-// RunRicherMetaAblation trains two meta-models (standard and rich), then
+// RicherMetaExperiment trains two meta-models (standard and rich), then
 // deploys both to the outdoor town under L3 — the topology whose frozen
 // conv features carry the transfer — and compares evaluated SFD averaged
 // over seedRepeats agents.
-func RunRicherMetaAblation(scale FlightScale) (RicherMetaResult, error) {
-	spec := nn.NavNetSpec()
-	pool := scale.engine()
-	metas := []*env.World{
-		env.OutdoorMeta(scale.Seed + 200),     // standard
-		env.OutdoorMetaRich(scale.Seed + 200), // rich
-	}
-	snaps := make([]*nn.Snapshot, len(metas))
-	pool.ForEach(len(metas), func(k int) {
-		snaps[k], _ = transfer.MetaTrain(metas[k], spec, scale.MetaIters, rl.Options{
-			Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
-		})
-	})
+type RicherMetaExperiment struct {
+	scale FlightScale
 
-	// One job per (meta, repeat) cell; seeds depend only on the repeat
-	// index, mirroring the flight engine's per-job derivation.
-	results := make([]float64, len(metas)*seedRepeats)
-	err := pool.ForEachErr(len(results), func(idx int) error {
-		k, r := idx/seedRepeats, idx%seedRepeats
-		town := env.OutdoorTown(scale.Seed + 4)
-		agent, err := transfer.Deploy(snaps[k], spec, nn.L3, rl.Options{
-			Seed: scale.Seed + 50 + int64(r), BatchSize: 4,
-			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
-		})
-		if err != nil {
-			return err
-		}
-		trainer := rl.NewTrainer(town, agent, scale.OnlineIters)
-		trainer.Run(scale.OnlineIters)
-		sfd, _ := evaluateSFD(town, agent, scale, 400+r)
-		results[idx] = sfd
-		return nil
-	})
-	if err != nil {
+	snaps  []*nn.Snapshot
+	sfds   []float64
+	result RicherMetaResult
+}
+
+// NewRicherMetaExperiment plans the richer-meta ablation.
+func NewRicherMetaExperiment(scale FlightScale) *RicherMetaExperiment {
+	return &RicherMetaExperiment{scale: scale}
+}
+
+// Name implements Experiment.
+func (e *RicherMetaExperiment) Name() string { return "richer-meta-ablation" }
+
+// Result returns the comparison; valid once a Run has completed.
+func (e *RicherMetaExperiment) Result() RicherMetaResult { return e.result }
+
+// metaScenarios are the two outdoor meta-environments compared, in
+// (standard, rich) order.
+var richerMetaScenarios = []string{"outdoor-meta", "outdoor-meta-rich"}
+
+// Phases implements Experiment.
+func (e *RicherMetaExperiment) Phases() []Phase {
+	spec := nn.NavNetSpec()
+	scale := e.scale
+	e.snaps = make([]*nn.Snapshot, len(richerMetaScenarios))
+	e.sfds = make([]float64, len(richerMetaScenarios)*seedRepeats)
+
+	return []Phase{
+		{
+			Name: "meta-train",
+			Jobs: len(richerMetaScenarios),
+			Job: func(rc *RunContext, k int) error {
+				s, _ := env.LookupScenario(richerMetaScenarios[k])
+				meta := s.Build(scale.Seed + 200)
+				snap, tracker := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
+					Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
+				})
+				e.snaps[k] = snap
+				rc.Emit(Event{
+					Env: meta.Name, Config: nn.E2E, Run: k,
+					Iteration: scale.MetaIters, Reward: tracker.CumulativeReward(),
+				})
+				return nil
+			},
+		},
+		{
+			// One job per (meta, repeat) cell; seeds depend only on the
+			// repeat index, mirroring the flight engine's per-job
+			// derivation.
+			Name: "online",
+			Jobs: len(e.sfds),
+			Job: func(rc *RunContext, idx int) error {
+				k, r := idx/seedRepeats, idx%seedRepeats
+				town := env.OutdoorTown(scale.Seed + 4)
+				agent, err := transfer.Deploy(e.snaps[k], spec, nn.L3, rl.Options{
+					Seed: scale.Seed + 50 + int64(r), BatchSize: 4,
+					EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
+				})
+				if err != nil {
+					return err
+				}
+				trainer := rl.NewTrainer(town, agent, scale.OnlineIters)
+				training := trainer.Run(scale.OnlineIters)
+				sfd, _ := evaluateSFD(town, agent, scale, 400+r)
+				e.sfds[idx] = sfd
+				rc.Emit(Event{
+					Env: town.Name, Config: nn.L3, Run: idx,
+					Iteration: scale.OnlineIters, Reward: training.CumulativeReward(),
+				})
+				return nil
+			},
+		},
+		{
+			Name: "aggregate",
+			Jobs: 1,
+			Job: func(rc *RunContext, _ int) error {
+				means := make([]float64, len(richerMetaScenarios))
+				for k := range means {
+					var total float64
+					for r := 0; r < seedRepeats; r++ {
+						total += e.sfds[k*seedRepeats+r]
+					}
+					means[k] = total / seedRepeats
+				}
+				e.result = RicherMetaResult{
+					TownSFDStandard: means[0],
+					TownSFDRich:     means[1],
+				}
+				if e.result.TownSFDStandard > 0 {
+					e.result.ImprovementPct = 100 * (e.result.TownSFDRich/e.result.TownSFDStandard - 1)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// RunRicherMetaAblation runs the richer-meta comparison.
+//
+// Deprecated: build a RicherMetaExperiment and execute it with Run for
+// cancellation and progress streaming. Output is bit-identical.
+func RunRicherMetaAblation(scale FlightScale) (RicherMetaResult, error) {
+	e := NewRicherMetaExperiment(scale)
+	if err := Run(context.Background(), e, WithWorkers(scale.Workers)); err != nil {
 		return RicherMetaResult{}, err
 	}
-	sfds := make([]float64, len(metas))
-	for k := range metas {
-		var total float64
-		for r := 0; r < seedRepeats; r++ {
-			total += results[k*seedRepeats+r]
-		}
-		sfds[k] = total / seedRepeats
-	}
-	res := RicherMetaResult{
-		TownSFDStandard: sfds[0],
-		TownSFDRich:     sfds[1],
-	}
-	if res.TownSFDStandard > 0 {
-		res.ImprovementPct = 100 * (res.TownSFDRich/res.TownSFDStandard - 1)
-	}
-	return res, nil
+	return e.Result(), nil
 }
 
 // StereoAblationResult compares learning with ideal depth against the
@@ -87,35 +148,85 @@ type StereoAblationResult struct {
 	SFDIdeal, SFDStereo float64
 }
 
-// RunStereoAblation meta-trains and flies the indoor apartment twice: once
-// with the stereo noise model, once with ideal ray-cast depth.
-func RunStereoAblation(scale FlightScale) (StereoAblationResult, error) {
+// StereoExperiment meta-trains and flies the indoor apartment twice: once
+// with ideal ray-cast depth (the *-ideal-depth scenario variants), once
+// with the stereo noise model.
+type StereoExperiment struct {
+	scale  FlightScale
+	sfds   []float64
+	result StereoAblationResult
+}
+
+// NewStereoExperiment plans the stereo-sensing ablation.
+func NewStereoExperiment(scale FlightScale) *StereoExperiment {
+	return &StereoExperiment{scale: scale}
+}
+
+// Name implements Experiment.
+func (e *StereoExperiment) Name() string { return "stereo-ablation" }
+
+// Result returns the comparison; valid once a Run has completed.
+func (e *StereoExperiment) Result() StereoAblationResult { return e.result }
+
+// Phases implements Experiment: the two arms are independent end-to-end
+// pipelines (meta-train, deploy under L3, learn online, evaluate).
+func (e *StereoExperiment) Phases() []Phase {
 	spec := nn.NavNetSpec()
-	sfds := make([]float64, 2)
-	err := scale.engine().ForEachErr(len(sfds), func(k int) error {
-		ideal := k == 0
-		meta := env.IndoorMeta(scale.Seed + 100)
-		if ideal {
-			meta.Stereo = nil
-		}
-		snap, _ := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
-			Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
-		})
-		world := env.IndoorApartment(scale.Seed + 1)
-		if ideal {
-			world.Stereo = nil
-		}
-		agent, err := transfer.Deploy(snap, spec, nn.L3, rl.Options{
-			Seed: scale.Seed + 2, BatchSize: 4,
-			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
-		})
-		if err != nil {
-			return err
-		}
-		trainer := rl.NewTrainer(world, agent, scale.OnlineIters)
-		trainer.Run(scale.OnlineIters)
-		sfds[k], _ = evaluateSFD(world, agent, scale, 500)
-		return nil
-	})
-	return StereoAblationResult{SFDIdeal: sfds[0], SFDStereo: sfds[1]}, err
+	scale := e.scale
+	e.sfds = make([]float64, 2)
+	arms := []struct{ meta, test string }{
+		{"indoor-meta-ideal-depth", "indoor-apartment-ideal-depth"}, // ideal depth
+		{"indoor-meta", "indoor-apartment"},                         // stereo model
+	}
+
+	return []Phase{
+		{
+			Name: "pipeline",
+			Jobs: len(arms),
+			Job: func(rc *RunContext, k int) error {
+				metaScenario, _ := env.LookupScenario(arms[k].meta)
+				testScenario, _ := env.LookupScenario(arms[k].test)
+				meta := metaScenario.Build(scale.Seed + 100)
+				snap, _ := transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
+					Seed: scale.Seed + 1, BatchSize: 4, EpsDecaySteps: scale.MetaIters / 2,
+				})
+				world := testScenario.Build(scale.Seed + 1)
+				agent, err := transfer.Deploy(snap, spec, nn.L3, rl.Options{
+					Seed: scale.Seed + 2, BatchSize: 4,
+					EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2, LR: 0.001,
+				})
+				if err != nil {
+					return err
+				}
+				trainer := rl.NewTrainer(world, agent, scale.OnlineIters)
+				training := trainer.Run(scale.OnlineIters)
+				e.sfds[k], _ = evaluateSFD(world, agent, scale, 500)
+				rc.Emit(Event{
+					Env: world.Name, Config: nn.L3, Run: k,
+					Iteration: scale.OnlineIters, Reward: training.CumulativeReward(),
+				})
+				return nil
+			},
+		},
+		{
+			Name: "aggregate",
+			Jobs: 1,
+			Job: func(rc *RunContext, _ int) error {
+				e.result = StereoAblationResult{SFDIdeal: e.sfds[0], SFDStereo: e.sfds[1]}
+				return nil
+			},
+		},
+	}
+}
+
+// RunStereoAblation runs the stereo-sensing comparison.
+//
+// Deprecated: build a StereoExperiment and execute it with Run for
+// cancellation and progress streaming. Output is bit-identical.
+func RunStereoAblation(scale FlightScale) (StereoAblationResult, error) {
+	e := NewStereoExperiment(scale)
+	if err := Run(context.Background(), e, WithWorkers(scale.Workers)); err != nil {
+		return StereoAblationResult{}, err
+	}
+	return e.Result(), nil
 }

@@ -8,21 +8,24 @@ import (
 	"dronerl/internal/transfer"
 )
 
-// Small shared helpers for the mission and ablation drivers.
+// Small shared helpers for the mission driver.
 
-// metaTrainQuick trains a compact meta-model for drivers that need a
-// reasonable (not figure-grade) transferred policy.
-func metaTrainQuick(meta *env.World, spec nn.ArchSpec, seed int64) (*nn.Snapshot, *metrics.FlightTracker) {
-	return transfer.MetaTrain(meta, spec, 800, rl.Options{
+// metaTrainQuick trains a compact meta-model (a fixed 800 iterations) for
+// drivers that need a reasonable, not figure-grade, transferred policy.
+// Explicitly-set fields of overrides replace the template's values.
+func metaTrainQuick(meta *env.World, spec nn.ArchSpec, seed int64, overrides rl.Options) (*nn.Snapshot, *metrics.FlightTracker) {
+	opts := rl.Options{
 		Seed: seed, BatchSize: 4, EpsDecaySteps: 400,
-	})
+	}.Merge(overrides)
+	return transfer.MetaTrain(meta, spec, 800, opts)
 }
 
 // deploySnapshot installs a snapshot under the given topology with the
-// standard online-deployment options.
-func deploySnapshot(snap *nn.Snapshot, spec nn.ArchSpec, cfg nn.Config, seed int64) (*rl.Agent, error) {
-	return transfer.Deploy(snap, spec, cfg, rl.Options{
+// standard online-deployment options, layered with overrides.
+func deploySnapshot(snap *nn.Snapshot, spec nn.ArchSpec, cfg nn.Config, seed int64, overrides rl.Options) (*rl.Agent, error) {
+	opts := rl.Options{
 		Seed: seed + 2 + int64(cfg), BatchSize: 4,
 		EpsStart: 0.3, EpsDecaySteps: 500, LR: 0.001,
-	})
+	}.Merge(overrides)
+	return transfer.Deploy(snap, spec, cfg, opts)
 }

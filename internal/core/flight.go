@@ -1,11 +1,13 @@
 // Package core couples the algorithm side (environments, Q-learning,
 // transfer learning) with the hardware side (the performance model) and
-// drives the paper's experiments end to end. One driver exists per figure
-// of the evaluation; cmd/figures and the benchmark harness are thin
-// wrappers over this package.
+// drives the paper's experiments end to end. Every driver — flight,
+// ablations, missions — is an Experiment executed by the unified engine in
+// engine.go; cmd/figures and the benchmark harness are thin wrappers over
+// this package.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dronerl/internal/env"
@@ -35,10 +37,6 @@ type FlightScale struct {
 	Workers int
 }
 
-// engine returns the worker pool that schedules this experiment's
-// independent runs.
-func (s FlightScale) engine() rl.Pool { return rl.Pool{Workers: s.Workers} }
-
 // FullScale returns the budget used by cmd/figures for the published
 // curves.
 func FullScale() FlightScale {
@@ -67,7 +65,9 @@ type ConfigRun struct {
 type EnvReport struct {
 	Env  string
 	Kind string
-	Runs []ConfigRun
+	// Scenario is the registry name the environment was built from.
+	Scenario string
+	Runs     []ConfigRun
 	// WorstLiDegradationPct is the largest SFD degradation of any Li
 	// topology vs E2E (the percentages annotated in Fig. 11).
 	WorstLiDegradationPct float64
@@ -87,105 +87,227 @@ func (e EnvReport) Run(cfg nn.Config) (ConfigRun, bool) {
 type FlightReport struct {
 	Scale FlightScale
 	Envs  []EnvReport
-	// MetaTrackers records the meta-environment training curves
-	// (indoor, outdoor).
+	// MetaTrackers records the meta-environment training curves, keyed by
+	// kind (indoor, outdoor).
 	MetaTrackers map[string]*metrics.FlightTracker
 }
 
-// RunFlightExperiment reproduces Fig. 10 and Fig. 11: meta-train one model
-// per environment kind, deploy it into each of the four test environments
-// under L2/L3/L4/E2E, learn online, then evaluate greedily.
-func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
+// FlightExperiment reproduces Fig. 10 and Fig. 11 over an arbitrary
+// scenario list: meta-train one model per environment kind, deploy it into
+// each scenario's world under every topology, learn online, then evaluate
+// greedily. It implements Experiment; execute it with Run and read the
+// result from Report.
+type FlightExperiment struct {
+	scale FlightScale
+	// agentOverrides is layered (rl.Options.Merge) onto the historical
+	// per-phase option templates; only fields set through rl functional
+	// options take effect, so a zero value reproduces the paper pipeline
+	// exactly.
+	agentOverrides rl.Options
+
+	// Planning state, fixed at construction: the selected scenarios, each
+	// scenario's probed world name and kind, and the distinct kinds in
+	// first-appearance order (the meta-training jobs).
+	scenarios []env.Scenario
+	envNames  []string
+	envKinds  []string
+	kinds     []string
+
+	snaps    []*nn.Snapshot
+	trackers []*metrics.FlightTracker
+	cells    []ConfigRun
+	report   *FlightReport
+}
+
+// NewFlightExperiment plans a flight experiment over the named scenarios
+// (the paper's four test environments when none are given). It fails on a
+// name missing from the scenario registry.
+func NewFlightExperiment(scale FlightScale, scenarioNames ...string) (*FlightExperiment, error) {
+	if len(scenarioNames) == 0 {
+		scenarioNames = env.DefaultFlightScenarios()
+	}
+	e := &FlightExperiment{scale: scale}
+	seen := map[string]bool{}
+	for i, name := range scenarioNames {
+		s, ok := env.LookupScenario(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown scenario %q (catalog: env.Scenarios)", name)
+		}
+		// Probe the world once for its display name and kind — the same
+		// per-scenario seed derivation every online job uses, so the probe
+		// matches what the jobs will fly.
+		w := s.Build(scale.Seed + 1 + int64(i))
+		e.scenarios = append(e.scenarios, s)
+		e.envNames = append(e.envNames, w.Name)
+		e.envKinds = append(e.envKinds, w.Kind)
+		if !seen[w.Kind] {
+			seen[w.Kind] = true
+			e.kinds = append(e.kinds, w.Kind)
+		}
+	}
+	return e, nil
+}
+
+// SetAgentOptions layers functional rl options over the experiment's
+// built-in per-phase training templates: explicitly-set fields (e.g.
+// rl.WithGamma(0.9), rl.WithDoubleDQN(true)) apply to the meta-training and
+// online agents alike, everything else keeps the paper's values.
+func (e *FlightExperiment) SetAgentOptions(opts ...rl.Option) error {
+	o, err := rl.NewOptions(opts...)
+	if err != nil {
+		return err
+	}
+	e.agentOverrides = o
+	return nil
+}
+
+// SetAgentOverrides installs an already-built override set (see
+// rl.NewOptions); only explicitly-set fields take effect.
+func (e *FlightExperiment) SetAgentOverrides(o rl.Options) { e.agentOverrides = o }
+
+// Name implements Experiment.
+func (e *FlightExperiment) Name() string { return "flight" }
+
+// Scale returns the experiment's iteration budget.
+func (e *FlightExperiment) Scale() FlightScale { return e.scale }
+
+// Report returns the accumulated report; it is nil until a Run of the
+// experiment has completed without error.
+func (e *FlightExperiment) Report() *FlightReport { return e.report }
+
+// Phases implements Experiment: meta-train one model per kind, fan the
+// (scenario, topology, repeat) online runs, then aggregate.
+func (e *FlightExperiment) Phases() []Phase {
 	spec := nn.NavNetSpec()
-	rep := &FlightReport{Scale: scale, MetaTrackers: map[string]*metrics.FlightTracker{}}
-	pool := scale.engine()
-
-	// Phase 1: the two meta trainings are independent; fan them across the
-	// pool. Each job owns its world and RNGs and writes only its own slot.
-	kinds := []string{"indoor", "outdoor"}
-	snaps := make([]*nn.Snapshot, len(kinds))
-	trackers := make([]*metrics.FlightTracker, len(kinds))
-	pool.ForEach(len(kinds), func(k int) {
-		var meta *env.World
-		if kinds[k] == "indoor" {
-			meta = env.IndoorMeta(scale.Seed + 100)
-		} else {
-			meta = env.OutdoorMeta(scale.Seed + 200)
-		}
-		snaps[k], trackers[k] = transfer.MetaTrain(meta, spec, scale.MetaIters, rl.Options{
-			Seed: scale.Seed + 1, BatchSize: 4,
-			EpsDecaySteps: scale.MetaIters / 2,
-		})
-	})
-	snapshots := map[string]*nn.Snapshot{}
-	for k, kind := range kinds {
-		snapshots[kind] = snaps[k]
-		rep.MetaTrackers[kind] = trackers[k]
-	}
-
-	// Phase 2: the 4 envs x 4 topologies x seedRepeats online runs are
-	// mutually independent. Flatten them into one job list and fan it across
-	// the pool; every run derives its seeds from its (i, ci, r) indices, so
-	// the schedule cannot influence the outcome.
-	tests := env.TestEnvironments(scale.Seed)
-	type cell struct {
-		run ConfigRun
-		err error
-	}
+	scale := e.scale
 	nc, nr := len(nn.Configs), seedRepeats
-	cells := make([]cell, len(tests)*nc*nr)
-	pool.ForEach(len(cells), func(idx int) {
-		i := idx / (nc * nr)
-		ci := idx / nr % nc
-		r := idx % nr
-		kind := tests[i].Kind
-		cfg := nn.Configs[ci]
-		// Fresh world per run so every topology faces the same layout.
-		w := env.TestEnvironment(scale.Seed, i)
-		agent, err := transfer.Deploy(snapshots[kind], spec, cfg, rl.Options{
-			Seed: scale.Seed + 10 + int64(cfg) + int64(100*r), BatchSize: 4,
-			// Online exploration restarts from a lower epsilon and
-			// learning rate: the transferred model already avoids
-			// obstacles and only fine-tunes.
-			EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2,
-			LR: 0.001,
-		})
-		if err != nil {
-			cells[idx].err = fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
-			return
-		}
-		w.Seed(scale.Seed + int64(31*r+i))
-		w.Spawn()
-		trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
-		training := trainer.Run(scale.OnlineIters)
-		sfd, crashes := evaluateSFD(w, agent, scale, i+100*r)
-		cells[idx].run = ConfigRun{
-			Config:       cfg,
-			RewardSeries: training.RewardSeries(),
-			ReturnSeries: training.ReturnSeries(),
-			SFD:          sfd,
-			Crashes:      crashes,
-		}
-	})
+	e.snaps = make([]*nn.Snapshot, len(e.kinds))
+	e.trackers = make([]*metrics.FlightTracker, len(e.kinds))
+	e.cells = make([]ConfigRun, len(e.scenarios)*nc*nr)
+	e.report = nil
 
-	for i, test := range tests {
-		er := EnvReport{Env: test.Name, Kind: test.Kind}
+	metaPhase := Phase{
+		Name: "meta-train",
+		Jobs: len(e.kinds),
+		Job: func(rc *RunContext, k int) error {
+			kind := e.kinds[k]
+			meta := env.MetaForKind(kind, scale.Seed+metaSeedOffset(kind))
+			opts := rl.Options{
+				Seed: scale.Seed + 1, BatchSize: 4,
+				EpsDecaySteps: scale.MetaIters / 2,
+			}.Merge(e.agentOverrides)
+			e.snaps[k], e.trackers[k] = transfer.MetaTrain(meta, spec, scale.MetaIters, opts)
+			rc.Emit(Event{
+				Env: meta.Name, Config: nn.E2E, Run: k,
+				Iteration: scale.MetaIters,
+				Reward:    e.trackers[k].CumulativeReward(),
+			})
+			return nil
+		},
+	}
+
+	onlinePhase := Phase{
+		Name: "online",
+		Jobs: len(e.cells),
+		Job: func(rc *RunContext, idx int) error {
+			i := idx / (nc * nr)
+			ci := idx / nr % nc
+			r := idx % nr
+			kind := e.envKinds[i]
+			cfg := nn.Configs[ci]
+			// Fresh world per run so every topology faces the same layout.
+			w := e.scenarios[i].Build(scale.Seed + 1 + int64(i))
+			opts := rl.Options{
+				Seed: scale.Seed + 10 + int64(cfg) + int64(100*r), BatchSize: 4,
+				// Online exploration restarts from a lower epsilon and
+				// learning rate: the transferred model already avoids
+				// obstacles and only fine-tunes.
+				EpsStart: 0.5, EpsDecaySteps: scale.OnlineIters / 2,
+				LR: 0.001,
+			}.Merge(e.agentOverrides)
+			agent, err := transfer.Deploy(e.snaps[e.kindIndex(kind)], spec, cfg, opts)
+			if err != nil {
+				return fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
+			}
+			w.Seed(scale.Seed + int64(31*r+i))
+			w.Spawn()
+			trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
+			training := trainer.Run(scale.OnlineIters)
+			sfd, crashes := evaluateSFD(w, agent, scale, i+100*r)
+			e.cells[idx] = ConfigRun{
+				Config:       cfg,
+				RewardSeries: training.RewardSeries(),
+				ReturnSeries: training.ReturnSeries(),
+				SFD:          sfd,
+				Crashes:      crashes,
+			}
+			rc.Emit(Event{
+				Env: w.Name, Config: cfg, Run: idx,
+				Iteration: scale.OnlineIters,
+				Reward:    training.CumulativeReward(),
+			})
+			return nil
+		},
+	}
+
+	aggregatePhase := Phase{
+		Name: "aggregate",
+		Jobs: 1,
+		Job: func(rc *RunContext, _ int) error {
+			e.report = e.aggregate()
+			return nil
+		},
+	}
+
+	return []Phase{metaPhase, onlinePhase, aggregatePhase}
+}
+
+// metaSeedOffset maps a kind to its meta-environment seed offset. The
+// offset depends on kind identity alone — never on the kind's position in
+// the scenario list — so a scenario's results are stable across experiments
+// regardless of which other scenarios ride along. The indoor/outdoor
+// constants are the historical ones, keeping the default quartet
+// bit-identical to the pre-registry engine.
+func metaSeedOffset(kind string) int64 {
+	if kind == "outdoor" {
+		return 200
+	}
+	return 100
+}
+
+// kindIndex returns the meta-model slot for a kind.
+func (e *FlightExperiment) kindIndex(kind string) int {
+	for k, v := range e.kinds {
+		if v == kind {
+			return k
+		}
+	}
+	panic("core: kind " + kind + " missing from flight plan")
+}
+
+// aggregate folds the completed cells into the Fig. 10/11 report.
+func (e *FlightExperiment) aggregate() *FlightReport {
+	scale := e.scale
+	nc, nr := len(nn.Configs), seedRepeats
+	rep := &FlightReport{Scale: scale, MetaTrackers: map[string]*metrics.FlightTracker{}}
+	for k, kind := range e.kinds {
+		rep.MetaTrackers[kind] = e.trackers[k]
+	}
+	for i := range e.scenarios {
+		er := EnvReport{Env: e.envNames[i], Kind: e.envKinds[i], Scenario: e.scenarios[i].Name}
 		var e2eSFD float64
 		for ci, cfg := range nn.Configs {
 			// Average the SFD over the seed repeats; keep the first
 			// seed's learning curves for the Fig. 10 plot.
 			agg := ConfigRun{Config: cfg}
 			for r := 0; r < seedRepeats; r++ {
-				c := cells[(i*nc+ci)*nr+r]
-				if c.err != nil {
-					return nil, c.err
-				}
+				c := e.cells[(i*nc+ci)*nr+r]
 				if r == 0 {
-					agg.RewardSeries = c.run.RewardSeries
-					agg.ReturnSeries = c.run.ReturnSeries
+					agg.RewardSeries = c.RewardSeries
+					agg.ReturnSeries = c.ReturnSeries
 				}
-				agg.SFD += c.run.SFD
-				agg.Crashes += c.run.Crashes
+				agg.SFD += c.SFD
+				agg.Crashes += c.Crashes
 			}
 			agg.SFD /= seedRepeats
 			if cfg == nn.E2E {
@@ -206,7 +328,25 @@ func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
 		}
 		rep.Envs = append(rep.Envs, er)
 	}
-	return rep, nil
+	return rep
+}
+
+// RunFlightExperiment reproduces Fig. 10 and Fig. 11 across the four test
+// environments and four topologies.
+//
+// Deprecated: build a FlightExperiment (NewFlightExperiment or the root
+// package's Spec.Flight) and execute it with Run, which adds context
+// cancellation, progress streaming and scenario selection. This wrapper
+// remains for the historical call sites and produces bit-identical output.
+func RunFlightExperiment(scale FlightScale) (*FlightReport, error) {
+	e, err := NewFlightExperiment(scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := Run(context.Background(), e, WithWorkers(scale.Workers)); err != nil {
+		return nil, err
+	}
+	return e.Report(), nil
 }
 
 // seedRepeats is the number of independent agent seeds averaged per

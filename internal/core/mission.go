@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dronerl/internal/env"
@@ -105,27 +106,98 @@ func RunMission(w *env.World, agent *rl.Agent, model *hw.Model, cfg MissionConfi
 	return res
 }
 
+// MissionExperiment flies the same mission under every topology with fresh
+// agents deployed from one snapshot — the co-design payoff expressed in
+// mission terms. It implements Experiment; results are in nn.Configs order.
+type MissionExperiment struct {
+	seed    int64
+	budgetJ float64
+	online  bool
+	batch   int
+	// overrides layers explicitly-set agent options over the mission's
+	// training templates (see rl.Options.Merge).
+	overrides rl.Options
+
+	snap    *nn.Snapshot
+	results []MissionResult
+}
+
+// NewMissionExperiment plans a topology-comparison mission on the indoor
+// apartment under a fixed compute-energy budget.
+func NewMissionExperiment(seed int64, budgetJ float64, online bool) *MissionExperiment {
+	return &MissionExperiment{seed: seed, budgetJ: budgetJ, online: online, batch: 4}
+}
+
+// SetAgentOverrides layers explicitly-set agent options (gamma, learning
+// rate, batch size, ...) over the mission's meta-training and deployment
+// templates; unset fields keep the historical values. An explicit batch
+// size also drives the per-frame training cadence and the hardware model's
+// batch pricing.
+func (e *MissionExperiment) SetAgentOverrides(o rl.Options) {
+	e.overrides = o
+	e.batch = rl.Options{BatchSize: e.batch}.Merge(o).BatchSize
+}
+
+// Name implements Experiment.
+func (e *MissionExperiment) Name() string { return "mission" }
+
+// Results returns the per-topology missions in nn.Configs order; valid
+// once a Run has completed.
+func (e *MissionExperiment) Results() []MissionResult { return e.results }
+
+// Phases implements Experiment: one shared meta-training, then one
+// independent mission per topology (seeds derive from the topology, so the
+// missions parallelize bit-identically to the historical serial loop).
+func (e *MissionExperiment) Phases() []Phase {
+	spec := nn.NavNetSpec()
+	e.results = make([]MissionResult, len(nn.Configs))
+
+	return []Phase{
+		{
+			Name: "meta-train",
+			Jobs: 1,
+			Job: func(rc *RunContext, _ int) error {
+				meta := env.IndoorMeta(e.seed + 100)
+				e.snap, _ = metaTrainQuick(meta, spec, e.seed, e.overrides)
+				rc.Emit(Event{Env: meta.Name, Config: nn.E2E, Run: 0, Iteration: 800})
+				return nil
+			},
+		},
+		{
+			Name: "missions",
+			Jobs: len(nn.Configs),
+			Job: func(rc *RunContext, i int) error {
+				cfg := nn.Configs[i]
+				w := env.IndoorApartment(e.seed + 1)
+				agent, err := deploySnapshot(e.snap, spec, cfg, e.seed, e.overrides)
+				if err != nil {
+					return err
+				}
+				e.results[i] = RunMission(w, agent, hw.NewModel(), MissionConfig{
+					Config: cfg, Batch: e.batch, ComputeBudgetJ: e.budgetJ, Online: e.online,
+				})
+				rc.Emit(Event{
+					Env: w.Name, Config: cfg, Run: i,
+					Iteration: e.results[i].Frames, Reward: e.results[i].DistanceM,
+				})
+				return nil
+			},
+		},
+	}
+}
+
 // CompareMissions runs the same mission under every topology with fresh
 // agents deployed from one snapshot, returning results in nn.Configs order.
 // It quantifies the end-to-end payoff of the co-design: under a fixed
 // compute budget the L-configurations process several times more frames
 // than the E2E baseline.
+//
+// Deprecated: build a MissionExperiment and execute it with Run for
+// cancellation and progress streaming. Output is bit-identical.
 func CompareMissions(seed int64, budgetJ float64, online bool) ([]MissionResult, error) {
-	spec := nn.NavNetSpec()
-	model := hw.NewModel()
-	meta := env.IndoorMeta(seed + 100)
-	snap, _ := metaTrainQuick(meta, spec, seed)
-
-	var out []MissionResult
-	for _, cfg := range nn.Configs {
-		w := env.IndoorApartment(seed + 1)
-		agent, err := deploySnapshot(snap, spec, cfg, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, RunMission(w, agent, model, MissionConfig{
-			Config: cfg, Batch: 4, ComputeBudgetJ: budgetJ, Online: online,
-		}))
+	e := NewMissionExperiment(seed, budgetJ, online)
+	if err := Run(context.Background(), e); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return e.Results(), nil
 }

@@ -1,0 +1,176 @@
+package env
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The scenario registry replaces the hardwired TestEnvironments quartet as
+// the way experiments name their worlds. A scenario is a named, seedable
+// world builder; the flight engine, cmd/droneflight and the examples select
+// scenarios by name, and callers can register their own workloads without
+// touching this package (Anwar & Raychowdhury, arXiv:1910.05547, run the
+// same transfer pipeline across many such edge navigation scenarios).
+
+// ScenarioBuilder constructs a fresh world from a seed. Builders must be
+// pure functions of the seed — the experiment engine builds one private
+// world per run and relies on identical seeds yielding identical worlds for
+// its determinism guarantees.
+type ScenarioBuilder func(seed int64) *World
+
+// Scenario is a registered, named world builder.
+type Scenario struct {
+	// Name identifies the scenario in registries, flags and reports.
+	Name string
+	// Kind is the meta-model family ("indoor" or "outdoor") when known at
+	// registration; the engine reads the authoritative kind from the built
+	// world, so registrations may leave it empty.
+	Kind string
+	// Description is a one-line catalog entry.
+	Description string
+	// Build constructs the world.
+	Build ScenarioBuilder
+}
+
+var scenarioRegistry = struct {
+	sync.RWMutex
+	m map[string]Scenario
+}{m: map[string]Scenario{}}
+
+// RegisterScenario adds a scenario to the catalog. It fails on an empty
+// name, a nil builder, or a name already taken (builtin names included) —
+// silently replacing a scenario would let two experiments disagree about
+// what a name means.
+func RegisterScenario(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("env: scenario has no name")
+	}
+	if s.Build == nil {
+		return fmt.Errorf("env: scenario %q has no builder", s.Name)
+	}
+	scenarioRegistry.Lock()
+	defer scenarioRegistry.Unlock()
+	if _, dup := scenarioRegistry.m[s.Name]; dup {
+		return fmt.Errorf("env: scenario %q already registered", s.Name)
+	}
+	scenarioRegistry.m[s.Name] = s
+	return nil
+}
+
+// mustRegisterScenario registers a builtin and panics on conflict (a
+// programming error at package init).
+func mustRegisterScenario(s Scenario) {
+	if err := RegisterScenario(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupScenario returns the scenario registered under name.
+func LookupScenario(name string) (Scenario, bool) {
+	scenarioRegistry.RLock()
+	defer scenarioRegistry.RUnlock()
+	s, ok := scenarioRegistry.m[name]
+	return s, ok
+}
+
+// Scenarios returns the catalog sorted by name.
+func Scenarios() []Scenario {
+	scenarioRegistry.RLock()
+	defer scenarioRegistry.RUnlock()
+	out := make([]Scenario, 0, len(scenarioRegistry.m))
+	for _, s := range scenarioRegistry.m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefaultFlightScenarios lists the four test worlds of Fig. 9/10/11 in the
+// paper's plotting order — the default workload of the flight experiment.
+// The engine builds scenario i with seed base+1+i, which for these four
+// reproduces TestEnvironments(base) exactly.
+func DefaultFlightScenarios() []string {
+	return []string{"indoor-apartment", "indoor-house", "outdoor-forest", "outdoor-town"}
+}
+
+// MetaForKind returns the meta-environment world for a kind, the per-kind
+// generalization of MetaFor.
+func MetaForKind(kind string, seed int64) *World {
+	if kind == "outdoor" {
+		return OutdoorMeta(seed)
+	}
+	return IndoorMeta(seed)
+}
+
+// idealDepth strips the stereo noise model from a built world, turning its
+// camera into an ideal ray-cast ranger (the sensing arm of the stereo
+// ablation).
+func idealDepth(b ScenarioBuilder) ScenarioBuilder {
+	return func(seed int64) *World {
+		w := b(seed)
+		w.Stereo = nil
+		return w
+	}
+}
+
+func init() {
+	// The paper's four test environments (Fig. 9).
+	mustRegisterScenario(Scenario{
+		Name: "indoor-apartment", Kind: "indoor",
+		Description: "walled flat with doorway gaps and furniture clutter (d_min 0.7 m)",
+		Build:       IndoorApartment,
+	})
+	mustRegisterScenario(Scenario{
+		Name: "indoor-house", Kind: "indoor",
+		Description: "larger rooms, mixed round and boxy furniture (d_min 1.0 m)",
+		Build:       IndoorHouse,
+	})
+	mustRegisterScenario(Scenario{
+		Name: "outdoor-forest", Kind: "outdoor",
+		Description: "cylindrical trunks at d_min 3 m spacing",
+		Build:       OutdoorForest,
+	})
+	mustRegisterScenario(Scenario{
+		Name: "outdoor-town", Kind: "outdoor",
+		Description: "box-shaped houses and cars, the paper's hardest transfer target (d_min 4 m)",
+		Build:       OutdoorTown,
+	})
+
+	// The meta-environments, exposed so callers can fly or inspect them.
+	mustRegisterScenario(Scenario{
+		Name: "indoor-meta", Kind: "indoor",
+		Description: "rich interior used for indoor transfer learning",
+		Build:       IndoorMeta,
+	})
+	mustRegisterScenario(Scenario{
+		Name: "outdoor-meta", Kind: "outdoor",
+		Description: "vegetation-dominated landscape used for outdoor transfer learning",
+		Build:       OutdoorMeta,
+	})
+
+	// Extensions beyond the paper's six worlds.
+	mustRegisterScenario(Scenario{
+		Name: "outdoor-meta-rich", Kind: "outdoor",
+		Description: "outdoor meta-world augmented with town-like boxes (richer-meta ablation)",
+		Build:       OutdoorMetaRich,
+	})
+	mustRegisterScenario(Scenario{
+		Name: "warehouse", Kind: "indoor",
+		Description: "industrial interior with shelving rows and pallet clutter",
+		Build:       Warehouse,
+	})
+
+	// Ablation variants: identical layouts with the stereo noise model
+	// removed, isolating the cost of disparity-based sensing.
+	mustRegisterScenario(Scenario{
+		Name: "indoor-apartment-ideal-depth", Kind: "indoor",
+		Description: "indoor-apartment sensed with ideal ray-cast depth (stereo ablation)",
+		Build:       idealDepth(IndoorApartment),
+	})
+	mustRegisterScenario(Scenario{
+		Name: "indoor-meta-ideal-depth", Kind: "indoor",
+		Description: "indoor-meta sensed with ideal ray-cast depth (stereo ablation)",
+		Build:       idealDepth(IndoorMeta),
+	})
+}

@@ -1,0 +1,127 @@
+package env
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinScenariosRegistered(t *testing.T) {
+	want := []string{
+		"indoor-apartment", "indoor-house", "outdoor-forest", "outdoor-town",
+		"indoor-meta", "outdoor-meta", "outdoor-meta-rich", "warehouse",
+		"indoor-apartment-ideal-depth", "indoor-meta-ideal-depth",
+	}
+	for _, name := range want {
+		s, ok := LookupScenario(name)
+		if !ok {
+			t.Errorf("builtin scenario %q missing", name)
+			continue
+		}
+		w := s.Build(7)
+		if w == nil || w.Name == "" {
+			t.Errorf("%q built an empty world", name)
+			continue
+		}
+		if s.Kind != w.Kind {
+			t.Errorf("%q: registered kind %q, world kind %q", name, s.Kind, w.Kind)
+		}
+		if s.Description == "" {
+			t.Errorf("%q has no description", name)
+		}
+	}
+	if got := len(Scenarios()); got < len(want) {
+		t.Errorf("catalog lists %d scenarios, want >= %d", got, len(want))
+	}
+}
+
+func TestScenariosSortedAndStable(t *testing.T) {
+	a, b := Scenarios(), Scenarios()
+	if len(a) != len(b) {
+		t.Fatal("catalog size changed between calls")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("catalog order unstable at %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if i > 0 && a[i-1].Name >= a[i].Name {
+			t.Fatalf("catalog not sorted: %q before %q", a[i-1].Name, a[i].Name)
+		}
+	}
+}
+
+func TestRegisterScenarioRejectsBadEntries(t *testing.T) {
+	if err := RegisterScenario(Scenario{Name: "", Build: IndoorHouse}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := RegisterScenario(Scenario{Name: "no-builder"}); err == nil {
+		t.Error("nil builder must be rejected")
+	}
+	err := RegisterScenario(Scenario{Name: "indoor-apartment", Build: IndoorHouse})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration must fail loudly, got %v", err)
+	}
+}
+
+func TestRegisterScenarioCustom(t *testing.T) {
+	name := "test-custom-scenario"
+	if err := RegisterScenario(Scenario{
+		Name:  name,
+		Build: func(seed int64) *World { return Warehouse(seed) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := LookupScenario(name)
+	if !ok {
+		t.Fatal("custom scenario not found after registration")
+	}
+	if w := s.Build(3); w.Kind != "indoor" {
+		t.Errorf("custom scenario built kind %q", w.Kind)
+	}
+}
+
+// TestDefaultFlightScenariosMatchTestEnvironments pins the compatibility
+// contract the flight engine relies on: building default scenario i with
+// seed base+1+i reproduces TestEnvironments(base) exactly.
+func TestDefaultFlightScenariosMatchTestEnvironments(t *testing.T) {
+	const base = int64(17)
+	old := TestEnvironments(base)
+	names := DefaultFlightScenarios()
+	if len(names) != len(old) {
+		t.Fatalf("%d default scenarios, %d test environments", len(names), len(old))
+	}
+	for i, name := range names {
+		s, ok := LookupScenario(name)
+		if !ok {
+			t.Fatalf("default scenario %q missing", name)
+		}
+		w := s.Build(base + 1 + int64(i))
+		if w.Name != old[i].Name || w.Kind != old[i].Kind {
+			t.Errorf("scenario %q builds %q/%q, want %q/%q",
+				name, w.Name, w.Kind, old[i].Name, old[i].Kind)
+		}
+		if len(w.Obstacles) != len(old[i].Obstacles) {
+			t.Errorf("%q: %d obstacles vs %d from TestEnvironments",
+				name, len(w.Obstacles), len(old[i].Obstacles))
+		}
+	}
+}
+
+func TestMetaForKind(t *testing.T) {
+	if w := MetaForKind("outdoor", 5); w.Kind != "outdoor" || w.Name != "outdoor meta" {
+		t.Errorf("outdoor kind built %q/%q", w.Name, w.Kind)
+	}
+	if w := MetaForKind("indoor", 5); w.Kind != "indoor" || w.Name != "indoor meta" {
+		t.Errorf("indoor kind built %q/%q", w.Name, w.Kind)
+	}
+}
+
+func TestIdealDepthVariantStripsStereo(t *testing.T) {
+	s, _ := LookupScenario("indoor-apartment-ideal-depth")
+	if w := s.Build(9); w.Stereo != nil {
+		t.Error("ideal-depth variant must have no stereo model")
+	}
+	base, _ := LookupScenario("indoor-apartment")
+	if w := base.Build(9); w.Stereo == nil {
+		t.Error("base scenario must keep its stereo model")
+	}
+}

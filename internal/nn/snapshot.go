@@ -6,11 +6,22 @@ import (
 	"io"
 )
 
+// SnapshotVersion is the serialization layout this build writes and reads.
+// ReadSnapshot rejects any other version so a future layout change fails
+// loudly at load time instead of restoring garbage weights into a flying
+// drone. Bump it whenever the encoded structure of Snapshot changes
+// meaning.
+const SnapshotVersion = 1
+
 // Snapshot is a serializable copy of a network's weights, the artifact that
 // is "downloaded to the drone" after meta-environment training (paper
 // Section II.D step 1). Only parameter values are captured; gradients and
 // architecture are not.
 type Snapshot struct {
+	// Version is the layout version, SnapshotVersion at creation.
+	Version int
+	// Arch names the architecture the weights belong to; Restore and
+	// transfer.Deploy refuse snapshots taken from a different one.
 	Arch   string
 	Names  []string
 	Shapes [][]int
@@ -21,7 +32,7 @@ type Snapshot struct {
 // the architecture name.
 func TakeSnapshot(n *Network, arch string) *Snapshot {
 	ps := n.Params()
-	s := &Snapshot{Arch: arch}
+	s := &Snapshot{Version: SnapshotVersion, Arch: arch}
 	for _, p := range ps {
 		s.Names = append(s.Names, p.Name)
 		s.Shapes = append(s.Shapes, append([]int(nil), p.W.Shape()...))
@@ -31,7 +42,8 @@ func TakeSnapshot(n *Network, arch string) *Snapshot {
 }
 
 // Restore writes the snapshot's weights into n. The parameter list must
-// match by name and size.
+// match by name and size; any mismatch leaves an error, never a silently
+// corrupted network.
 func (s *Snapshot) Restore(n *Network) error {
 	ps := n.Params()
 	if len(ps) != len(s.Names) {
@@ -51,14 +63,24 @@ func (s *Snapshot) Restore(n *Network) error {
 
 // Encode serializes the snapshot with encoding/gob.
 func (s *Snapshot) Encode(w io.Writer) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("nn: refusing to encode snapshot version %d (this build writes %d)",
+			s.Version, SnapshotVersion)
+	}
 	return gob.NewEncoder(w).Encode(s)
 }
 
-// ReadSnapshot deserializes a snapshot written by Encode.
+// ReadSnapshot deserializes a snapshot written by Encode. Snapshots from a
+// different layout version — including pre-versioning files, which decode
+// as version 0 — are rejected.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("nn: snapshot version %d, this build reads %d — retake the snapshot with this build",
+			s.Version, SnapshotVersion)
 	}
 	return &s, nil
 }

@@ -38,37 +38,44 @@ type Options struct {
 	DoubleDQN bool
 	// Seed fixes the agent's private RNG.
 	Seed int64
+
+	// explicit records which fields were set through functional options
+	// (see options.go). setDefaults only fills fields whose bit is clear,
+	// so an explicit zero (EpsEnd, GradClip, TargetSync, Seed) survives
+	// where the zero-valued struct literal historically could not express
+	// it.
+	explicit optField
 }
 
 func (o *Options) setDefaults() {
-	if o.Gamma == 0 {
+	if o.Gamma == 0 && !o.isSet(fieldGamma) {
 		o.Gamma = 0.95
 	}
-	if o.LR == 0 {
+	if o.LR == 0 && !o.isSet(fieldLR) {
 		o.LR = 0.005
 	}
-	if o.BatchSize == 0 {
+	if o.BatchSize == 0 && !o.isSet(fieldBatchSize) {
 		o.BatchSize = 4
 	}
-	if o.ReplayCapacity == 0 {
+	if o.ReplayCapacity == 0 && !o.isSet(fieldReplayCapacity) {
 		o.ReplayCapacity = 4096
 	}
-	if o.EpsStart == 0 {
+	if o.EpsStart == 0 && !o.isSet(fieldEpsStart) {
 		o.EpsStart = 1.0
 	}
-	if o.EpsEnd == 0 {
+	if o.EpsEnd == 0 && !o.isSet(fieldEpsEnd) {
 		o.EpsEnd = 0.05
 	}
-	if o.EpsDecaySteps == 0 {
+	if o.EpsDecaySteps == 0 && !o.isSet(fieldEpsDecaySteps) {
 		o.EpsDecaySteps = 3000
 	}
-	if o.TargetSync == 0 {
+	if o.TargetSync == 0 && !o.isSet(fieldTargetSync) {
 		o.TargetSync = 64
 	}
-	if o.GradClip == 0 {
+	if o.GradClip == 0 && !o.isSet(fieldGradClip) {
 		o.GradClip = 1
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.isSet(fieldSeed) {
 		o.Seed = 1
 	}
 }
@@ -272,7 +279,9 @@ func (a *Agent) TrainStep() float64 {
 		gd[i*a.actions+tr.Action] = float32(td)
 	}
 	a.Net.BackwardBatch(grad)
-	a.Net.ClipGrad(o.GradClip)
+	if o.GradClip > 0 {
+		a.Net.ClipGrad(o.GradClip)
+	}
 	a.Net.Step(o.LR, o.BatchSize)
 	a.trainSteps++
 	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {
@@ -332,7 +341,9 @@ func (a *Agent) TrainStepSerial() float64 {
 		grad.Set(float32(td), tr.Action)
 		a.Net.Backward(grad)
 	}
-	a.Net.ClipGrad(o.GradClip)
+	if o.GradClip > 0 {
+		a.Net.ClipGrad(o.GradClip)
+	}
 	a.Net.Step(o.LR, o.BatchSize)
 	a.trainSteps++
 	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {

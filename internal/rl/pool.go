@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,12 +41,30 @@ func (p Pool) size(n int) int {
 // returned. Jobs are handed out in index order from a shared counter, so the
 // pool never holds more than Workers jobs in flight.
 func (p Pool) ForEach(n int, job func(i int)) {
+	p.ForEachCtx(context.Background(), n, job)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done the
+// pool stops handing out new jobs, lets every in-flight job finish (jobs are
+// never interrupted mid-run, preserving the one-run-boundary guarantee), and
+// returns ctx.Err(). All worker goroutines have exited by the time it
+// returns, so a cancelled experiment leaks nothing. A nil error means every
+// job ran.
+//
+// The determinism contract is unchanged: jobs that did run used exactly the
+// RNG streams they would have used uncancelled, so discarding a cancelled
+// experiment's partial state and re-running it from scratch reproduces the
+// uninterrupted result bit for bit.
+func (p Pool) ForEachCtx(ctx context.Context, n int, job func(i int)) error {
 	workers := p.size(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			job(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -53,7 +72,7 @@ func (p Pool) ForEach(n int, job func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -63,6 +82,7 @@ func (p Pool) ForEach(n int, job func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ForEachErr runs job(0) .. job(n-1) on the pool and returns the error of the
@@ -70,10 +90,20 @@ func (p Pool) ForEach(n int, job func(i int)) {
 // reported first. All jobs run regardless of failures, keeping the schedule
 // identical to the error-free case.
 func (p Pool) ForEachErr(n int, job func(i int) error) error {
+	return p.ForEachCtxErr(context.Background(), n, job)
+}
+
+// ForEachCtxErr is ForEachErr with cooperative cancellation. Cancellation
+// takes precedence in the return value: a cancelled sweep reports ctx.Err()
+// (its job errors are partial and would not match the serial schedule's
+// first failure).
+func (p Pool) ForEachCtxErr(ctx context.Context, n int, job func(i int) error) error {
 	errs := make([]error, n)
-	p.ForEach(n, func(i int) {
+	if err := p.ForEachCtx(ctx, n, func(i int) {
 		errs[i] = job(i)
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,8 +1,10 @@
 package rl
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -58,5 +60,84 @@ func TestPoolForEachErrReturnsLowestIndexError(t *testing.T) {
 	}
 	if err := (Pool{Workers: 3}).ForEachErr(4, func(int) error { return nil }); err != nil {
 		t.Errorf("clean run returned %v", err)
+	}
+}
+
+// TestPoolForEachCtxCancelStopsNewJobs asserts a cancelled context stops the
+// hand-out promptly: jobs already in flight finish, no new ones start, and
+// the call reports ctx.Err().
+func TestPoolForEachCtxCancelStopsNewJobs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		started := make(chan struct{}, 1)
+		err := Pool{Workers: workers}.ForEachCtx(ctx, 1000, func(i int) {
+			ran.Add(1)
+			select {
+			case started <- struct{}{}:
+				cancel() // cancel from inside the first job to reach here
+			default:
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// With w workers at most w jobs were in flight at cancellation, and
+		// each worker may have grabbed one more index before observing it.
+		if got := ran.Load(); got > int32(2*max(workers, 1)+1) {
+			t.Errorf("workers=%d: %d jobs ran after prompt cancel", workers, got)
+		}
+	}
+}
+
+// TestPoolForEachCtxCancelLeaksNoGoroutines pins the drain guarantee: after
+// a cancelled ForEachCtx returns, every worker goroutine has exited.
+func TestPoolForEachCtxCancelLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 5; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var n atomic.Int32
+		Pool{Workers: 8}.ForEachCtx(ctx, 10000, func(i int) {
+			if n.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	// Workers are joined before ForEachCtx returns, so the count must be
+	// back to (roughly) the baseline immediately, no settling loop needed.
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d after cancelled sweeps", before, after)
+	}
+}
+
+// TestPoolForEachCtxErrCancellationWins asserts ctx errors take precedence
+// over job errors in the combined variant.
+func TestPoolForEachCtxErrCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Pool{Workers: 2}.ForEachCtxErr(ctx, 10, func(i int) error {
+		return errors.New("job error")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPoolForEachCtxNilErrorMeansComplete asserts the completeness contract:
+// a nil return guarantees every job ran.
+func TestPoolForEachCtxNilErrorMeansComplete(t *testing.T) {
+	counts := make([]int32, 200)
+	err := Pool{Workers: 5}.ForEachCtx(context.Background(), len(counts), func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
 	}
 }

@@ -36,6 +36,10 @@ func MetaTrain(meta *env.World, spec nn.ArchSpec, iterations int, opts rl.Option
 // transferred weights are used but every layer stays trainable — the
 // baseline the paper compares against.
 func Deploy(snapshot *nn.Snapshot, spec nn.ArchSpec, cfg nn.Config, opts rl.Options) (*rl.Agent, error) {
+	if snapshot.Arch != "" && snapshot.Arch != spec.Name {
+		return nil, fmt.Errorf("transfer: snapshot is a %q meta-model, cannot deploy onto %q",
+			snapshot.Arch, spec.Name)
+	}
 	agent := rl.NewAgent(spec, cfg, opts)
 	if err := snapshot.Restore(agent.Net); err != nil {
 		return nil, fmt.Errorf("transfer: deploying meta-model: %w", err)

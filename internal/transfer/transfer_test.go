@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"strings"
 	"testing"
 
 	"dronerl/internal/env"
@@ -101,5 +102,18 @@ func TestResultSFDNilEval(t *testing.T) {
 	var r Result
 	if r.SFD() != 0 {
 		t.Error("SFD of empty result must be 0")
+	}
+}
+
+// TestDeployRejectsArchMismatch asserts the transfer pipeline refuses a
+// snapshot labelled with a different architecture instead of attempting a
+// partial restore.
+func TestDeployRejectsArchMismatch(t *testing.T) {
+	spec := nn.NavNetSpec()
+	snap := nn.TakeSnapshot(spec.Build(), "AlexNet")
+	if _, err := Deploy(snap, spec, nn.L3, rl.Options{Seed: 1}); err == nil {
+		t.Fatal("deploying an AlexNet snapshot onto NavNet must fail")
+	} else if !strings.Contains(err.Error(), "AlexNet") {
+		t.Errorf("error should name the mismatched arch: %v", err)
 	}
 }
