@@ -234,6 +234,31 @@ func WithDoubleDQN(on bool) Option { return agentOption(rl.WithDoubleDQN(on)) }
 // clipping.
 func WithGradClip(limit float64) Option { return agentOption(rl.WithGradClip(limit)) }
 
+// Inference backends selectable with WithBackend. Training always runs on
+// the float reference; the backend is the substrate the trained policy is
+// deployed onto for the greedy evaluation and deployment phases, which is
+// where the paper's hardware co-design argument lives.
+const (
+	// Float evaluates on the float32 GEMM reference path — the default,
+	// and bit-identical to not selecting a backend at all.
+	Float = core.FloatBackendName
+	// Quant evaluates on the 16-bit fixed-point integer engine, the
+	// numeric behaviour of the PE datapath (internal/qnn).
+	Quant = core.QuantBackendName
+	// Systolic evaluates on the PE-array emulation priced by the
+	// analytical hardware model, charging every inference's memory
+	// traffic to a per-run energy ledger (internal/hw).
+	Systolic = core.SystolicBackendName
+)
+
+// WithBackend selects the inference backend for greedy evaluation and
+// deployment phases (Float, Quant, Systolic, or any name registered with
+// nn.RegisterBackend). Runs on cost-reporting backends stream per-phase
+// energy/latency/cycle events, the flight report accumulates a merged
+// per-device energy ledger, and FlightReport.BuildEnergyTable renders the
+// paper-style cost table. Unknown names fail Validate.
+func WithBackend(name string) Option { return agentOption(rl.WithEvalBackend(name)) }
+
 func agentOption(o rl.Option) Option {
 	return func(s *Spec) error {
 		s.agentOpts = append(s.agentOpts, o)

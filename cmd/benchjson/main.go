@@ -1,15 +1,26 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document, so CI can publish benchmark numbers as a machine-readable
-// artifact (BENCH_pr2.json) and the performance trajectory of the hot paths
+// artifact (BENCH_pr4.json) and the performance trajectory of the hot paths
 // — TrainStep, conv forward/backward — can be tracked across PRs.
 //
 // Usage:
 //
-//	go test -run '^$' -bench TrainStep -benchmem | benchjson -o BENCH_pr2.json
+//	go test -run '^$' -bench TrainStep -benchmem | benchjson -o BENCH_pr4.json
+//	... | benchjson -o BENCH_pr4.json -baseline BENCH_pr2.json \
+//	      -gate 'ConvForward|GEMM|TrainStep' -maxregress 15
 //
 // Standard columns (iterations, ns/op, B/op, allocs/op) become fields;
 // any custom metrics reported with b.ReportMetric (gflops, fwd-ms, ...)
 // land in the "metrics" map.
+//
+// With -baseline the command additionally acts as a regression gate: every
+// benchmark whose name matches -gate is compared against the same-named
+// entry of the baseline document, a comparison table is printed, and the
+// command exits nonzero if any gated benchmark slowed down by more than
+// -maxregress percent. Gated benchmarks absent from the baseline are
+// reported but do not fail the gate (they are new coverage, not
+// regressions). Baselines are machine-specific: compare runs from the same
+// runner class (CI pins GOMAXPROCS=1 for stability).
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -43,6 +55,9 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate regressions against")
+	gate := flag.String("gate", "ConvForward|GEMM|TrainStep", "regexp of benchmark names the gate checks")
+	maxRegress := flag.Float64("maxregress", 15, "fail if a gated benchmark slows down by more than this percent")
 	flag.Parse()
 
 	var rep Report
@@ -82,12 +97,75 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		if !gateAgainstBaseline(rep, *baseline, *gate, *maxRegress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// gateAgainstBaseline compares the gated benchmarks of rep against the
+// committed baseline document and reports whether the gate passes.
+func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegressPct float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	gateRE, err := regexp.Compile(gatePattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: gate pattern:", err)
+		return false
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+
+	fmt.Fprintf(os.Stderr, "benchjson: gating %q against %s (max +%.0f%%)\n",
+		gatePattern, baselinePath, maxRegressPct)
+	ok := true
+	gated := 0
+	for _, b := range rep.Benchmarks {
+		if !gateRE.MatchString(b.Name) {
+			continue
+		}
+		gated++
+		old, have := baseNs[b.Name]
+		if !have {
+			fmt.Fprintf(os.Stderr, "  NEW   %-40s %12.0f ns/op (no baseline entry)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		if old <= 0 {
+			continue
+		}
+		delta := 100 * (b.NsPerOp - old) / old
+		verdict := "ok"
+		if delta > maxRegressPct {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			verdict, b.Name, old, b.NsPerOp, delta)
+	}
+	if gated == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark on stdin matches the gate pattern")
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION — a gated benchmark slowed down by more than %.0f%%\n", maxRegressPct)
+	}
+	return ok
 }
 
 // parseBenchLine parses one result line, e.g.

@@ -25,6 +25,11 @@ import (
 	"dronerl/internal/report"
 	"dronerl/internal/rl"
 	"dronerl/internal/transfer"
+
+	// Linked for their backend registrations, so -backend can name the
+	// quant and systolic substrates.
+	_ "dronerl/internal/hw"
+	_ "dronerl/internal/qnn"
 )
 
 // aliases maps the historical short names (with their historical seed
@@ -50,6 +55,8 @@ func main() {
 	onlineIters := flag.Int("online", 800, "online RL iterations in the test environment")
 	evalSteps := flag.Int("eval", 600, "greedy evaluation steps")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	backend := flag.String("backend", "", "inference backend for the greedy evaluation: "+
+		strings.Join(nn.BackendNames(), ", ")+" (default: the direct float path)")
 	showMap := flag.Bool("map", false, "print the environment map")
 	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	saveModel := flag.String("save", "", "write the meta-model snapshot to this file after meta-training")
@@ -120,9 +127,18 @@ func main() {
 
 	fmt.Printf("deploying to %q under %v (%d/%d trainable weights) and learning online...\n",
 		world.Name, cfg, spec.TrainedWeights(cfg), spec.TotalWeights())
-	res, err := transfer.RunOnline(snap, world, spec, cfg, *onlineIters, *evalSteps, rl.Options{
+	opts := rl.Options{
 		Seed: *seed + 1, BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: *onlineIters / 2,
-	})
+	}
+	if *backend != "" {
+		withBackend, err := rl.NewOptions(rl.WithEvalBackend(*backend))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts = opts.Merge(withBackend)
+	}
+	res, err := transfer.RunOnline(snap, world, spec, cfg, *onlineIters, *evalSteps, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -136,6 +152,13 @@ func main() {
 	t.Add("training crashes", fmt.Sprint(res.Training.Crashes()))
 	t.Add("eval SFD (m)", report.Num(res.Eval.SafeFlightDistance()))
 	t.Add("eval crashes", fmt.Sprint(res.Eval.Crashes()))
+	if res.Backend != "" {
+		t.Add("eval backend", res.Backend)
+		if res.EvalCost.Inferences > 0 {
+			t.Add("eval energy (mJ)", report.Num(res.EvalCost.EnergyMJ))
+			t.Add("eval latency (ms)", report.Num(res.EvalCost.LatencyMS))
+		}
+	}
 	fmt.Println(t.String())
 }
 

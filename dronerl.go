@@ -13,13 +13,16 @@
 //     analytical latency/energy model (internal/systolic, internal/mem,
 //     internal/hw).
 //
-// Experiments compose from three first-class concepts (see api.go): a
+// Experiments compose from four first-class concepts (see api.go): a
 // scenario catalog (Scenarios, RegisterScenario), a validated Spec built
-// from functional options (New, WithTopology, WithGamma, ...), and a
-// unified context-aware engine (Run, WithWorkers, WithProgress) that
-// executes any Experiment with deterministic, worker-count-independent
-// results. See README.md for a tour, the MIGRATION section there for the
-// old entry points, and EXPERIMENTS.md for the paper-vs-model comparison.
+// from functional options (New, WithTopology, WithGamma, ...), a compute
+// backend the trained policy deploys onto for greedy evaluation
+// (WithBackend: Float, Quant or Systolic, the last charging per-run energy
+// ledgers from the hardware model), and a unified context-aware engine
+// (Run, WithWorkers, WithProgress) that executes any Experiment with
+// deterministic, worker-count-independent results. See README.md for a
+// tour, the MIGRATION section there for the old entry points, and
+// EXPERIMENTS.md for the paper-vs-model comparison.
 package dronerl
 
 import (

@@ -2,14 +2,19 @@
 // drone battery budget for compute, how many camera frames can each
 // training topology process, and how fast can the drone fly in each of the
 // paper's six environment classes while still avoiding obstacles
-// (v = fps x d_min, Fig. 1)?
+// (v = fps x d_min, Fig. 1)? The final section flies an actual (tiny)
+// flight experiment with the systolic inference backend, so the energy
+// numbers come from a per-run ledger instead of the closed-form model.
 //
 //	go run ./examples/energy_budget
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
+	"dronerl"
 	"dronerl/internal/env"
 	"dronerl/internal/hw"
 	"dronerl/internal/nn"
@@ -46,5 +51,29 @@ func main() {
 	l4 := m.Iteration(nn.L4, batch).FPS()
 	e2e := m.Iteration(nn.E2E, batch).FPS()
 	fmt.Printf("the L4 topology sustains %.1fx the E2E frame rate, which translates\n", l4/e2e)
-	fmt.Printf("directly into a %.1fx faster safe flight speed (the paper reports >3x).\n", l4/e2e)
+	fmt.Printf("directly into a %.1fx faster safe flight speed (the paper reports >3x).\n\n", l4/e2e)
+
+	// Measured, not modeled: run a tiny flight experiment whose greedy
+	// evaluations execute on the systolic backend, and read the energy
+	// back from the per-run ledgers the engine merged.
+	fmt.Println("flying a tiny experiment on the systolic backend...")
+	spec, err := dronerl.New(
+		dronerl.WithSeed(4),
+		dronerl.WithMetaIters(60), dronerl.WithOnlineIters(60), dronerl.WithEvalSteps(60),
+		dronerl.WithScenarios("indoor-apartment"),
+		dronerl.WithBackend(dronerl.Systolic),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := spec.Flight()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dronerl.Run(context.Background(), exp); err != nil {
+		log.Fatal(err)
+	}
+	rep := exp.Report()
+	fmt.Println(rep.BuildEnergyTable().String())
+	fmt.Print("merged evaluation-phase memory traffic:\n" + rep.Energy.String())
 }

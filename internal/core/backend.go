@@ -1,0 +1,40 @@
+package core
+
+import (
+	"dronerl/internal/mem"
+	"dronerl/internal/nn"
+
+	// Linked for their backend registrations: the drivers resolve "quant"
+	// and "systolic" through the nn registry, so every binary built on
+	// core must carry the implementations.
+	_ "dronerl/internal/qnn"
+)
+
+// The experiment drivers select inference backends by registry name. The
+// implementations live where their substrate lives — the float reference in
+// internal/nn, the 16-bit integer engine in internal/qnn, the priced
+// PE-array emulation in internal/hw — and register themselves; importing
+// them here guarantees every driver binary links all three.
+
+// Backend names understood by every driver (and listed by nn.BackendNames).
+const (
+	// FloatBackendName is the float32 GEMM reference path (the default;
+	// selecting it explicitly is bit-identical to not selecting one).
+	FloatBackendName = "float"
+	// QuantBackendName is the 16-bit fixed-point integer engine.
+	QuantBackendName = "quant"
+	// SystolicBackendName is the PE-array emulation with per-run energy
+	// ledgers.
+	SystolicBackendName = "systolic"
+)
+
+// backendLedger extracts a backend's per-device energy ledger, nil for
+// backends without one (the float path). Any backend — including
+// caller-registered ones — participates by exposing the Ledger method, the
+// way hw.SystolicBackend and qnn.Backend do.
+func backendLedger(b nn.Backend) *mem.EnergyLedger {
+	if t, ok := b.(interface{ Ledger() *mem.EnergyLedger }); ok {
+		return t.Ledger()
+	}
+	return nil
+}

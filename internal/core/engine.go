@@ -39,6 +39,15 @@ type Event struct {
 	// Reward is the run's headline reward metric (cumulative training
 	// reward for learning runs, evaluated SFD for evaluation phases).
 	Reward float64
+	// Backend names the inference backend of an evaluation run ("" when
+	// the run used the float network directly).
+	Backend string
+	// EnergyMJ, LatencyMS and Cycles are the run's accumulated modeled
+	// hardware cost, nonzero only for backends with a cost hook (see
+	// nn.CostReporter).
+	EnergyMJ  float64
+	LatencyMS float64
+	Cycles    int64
 }
 
 // String renders a compact single-line progress message.
@@ -49,6 +58,12 @@ func (e Event) String() string {
 	}
 	if e.Iteration > 0 {
 		s += fmt.Sprintf(" (%d iters, reward %.3f)", e.Iteration, e.Reward)
+	}
+	if e.Backend != "" {
+		s += fmt.Sprintf(" [%s]", e.Backend)
+	}
+	if e.EnergyMJ > 0 {
+		s += fmt.Sprintf(" %.3f mJ / %.3f ms", e.EnergyMJ, e.LatencyMS)
 	}
 	return s
 }
@@ -93,12 +108,18 @@ func (rc *RunContext) Context() context.Context { return rc.ctx }
 
 // Emit streams a progress event. The engine fills in the experiment, phase
 // and job-count fields; jobs only set what they know (Env, Config, Run,
-// Iteration, Reward). Emit is safe to call from parallel jobs.
+// Iteration, Reward, backend cost). A job may pre-set Phase to report a
+// sub-stage of its work under its own label (the flight driver labels its
+// in-job greedy evaluations "evaluate"); an empty Phase gets the engine
+// phase's name. Emit is safe to call from parallel jobs.
 func (rc *RunContext) Emit(ev Event) {
 	if rc.emit == nil {
 		return
 	}
-	ev.Experiment, ev.Phase, ev.Of = rc.exp, rc.phase, rc.jobs
+	ev.Experiment, ev.Of = rc.exp, rc.jobs
+	if ev.Phase == "" {
+		ev.Phase = rc.phase
+	}
 	rc.emit(ev)
 }
 

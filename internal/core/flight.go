@@ -11,8 +11,10 @@ import (
 	"fmt"
 
 	"dronerl/internal/env"
+	"dronerl/internal/mem"
 	"dronerl/internal/metrics"
 	"dronerl/internal/nn"
+	"dronerl/internal/report"
 	"dronerl/internal/rl"
 	"dronerl/internal/transfer"
 )
@@ -59,6 +61,12 @@ type ConfigRun struct {
 	NormalizedSFD float64
 	// Crashes during evaluation.
 	Crashes int
+	// Backend names the inference backend of the greedy evaluation phase
+	// ("" for the direct float path).
+	Backend string
+	// EvalCost is the evaluation phase's accumulated modeled hardware cost,
+	// summed over the seed repeats (zero without a cost-reporting backend).
+	EvalCost nn.BackendCost
 }
 
 // EnvReport aggregates the four topologies in one test environment.
@@ -90,6 +98,36 @@ type FlightReport struct {
 	// MetaTrackers records the meta-environment training curves, keyed by
 	// kind (indoor, outdoor).
 	MetaTrackers map[string]*metrics.FlightTracker
+	// Energy is the merged per-device traffic ledger of every run's greedy
+	// evaluation phase, nil when every run used the unpriced float path.
+	// Per-run ledgers are merged in run-index order during aggregation, so
+	// the totals are deterministic for every worker count.
+	Energy *mem.EnergyLedger
+}
+
+// BuildEnergyTable renders the per-run evaluation energy as a paper-style
+// table: one row per (environment, topology) cell with the backend's
+// modeled energy, latency and cycle totals. It returns nil when no run
+// reported costs (the float path).
+func (r *FlightReport) BuildEnergyTable() *report.Table {
+	any := false
+	t := report.New("evaluation-phase hardware cost by backend",
+		"Environment", "Config", "Backend", "Inferences", "Energy mJ", "Latency ms", "Mcycles")
+	for _, e := range r.Envs {
+		for _, run := range e.Runs {
+			if run.EvalCost.Inferences == 0 {
+				continue
+			}
+			any = true
+			t.Addf(e.Env, run.Config.String(), run.Backend,
+				int(run.EvalCost.Inferences), run.EvalCost.EnergyMJ,
+				run.EvalCost.LatencyMS, float64(run.EvalCost.Cycles)/1e6)
+		}
+	}
+	if !any {
+		return nil
+	}
+	return t
 }
 
 // FlightExperiment reproduces Fig. 10 and Fig. 11 over an arbitrary
@@ -116,7 +154,11 @@ type FlightExperiment struct {
 	snaps    []*nn.Snapshot
 	trackers []*metrics.FlightTracker
 	cells    []ConfigRun
-	report   *FlightReport
+	// ledgers holds each run's private evaluation energy ledger (nil
+	// entries for the float path). One ledger per run keeps the parallel
+	// engine race-free; aggregation merges them in index order.
+	ledgers []*mem.EnergyLedger
+	report  *FlightReport
 }
 
 // NewFlightExperiment plans a flight experiment over the named scenarios
@@ -184,6 +226,7 @@ func (e *FlightExperiment) Phases() []Phase {
 	e.snaps = make([]*nn.Snapshot, len(e.kinds))
 	e.trackers = make([]*metrics.FlightTracker, len(e.kinds))
 	e.cells = make([]ConfigRun, len(e.scenarios)*nc*nr)
+	e.ledgers = make([]*mem.EnergyLedger, len(e.cells))
 	e.report = nil
 
 	metaPhase := Phase{
@@ -233,18 +276,40 @@ func (e *FlightExperiment) Phases() []Phase {
 			w.Spawn()
 			trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
 			training := trainer.Run(scale.OnlineIters)
+			// Hand off to the greedy evaluation phase: from here on the
+			// trained policy runs on the selected inference backend (the
+			// deployment substrate), not necessarily the float trainer.
+			if err := agent.ActivateEvalBackend(); err != nil {
+				return fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
+			}
 			sfd, crashes := evaluateSFD(w, agent, scale, i+100*r)
+			cost := agent.EvalCost()
 			e.cells[idx] = ConfigRun{
 				Config:       cfg,
 				RewardSeries: training.RewardSeries(),
 				ReturnSeries: training.ReturnSeries(),
 				SFD:          sfd,
 				Crashes:      crashes,
+				EvalCost:     cost,
+			}
+			if b := agent.EvalBackend(); b != nil {
+				e.cells[idx].Backend = b.Name()
+				e.ledgers[idx] = backendLedger(b)
 			}
 			rc.Emit(Event{
 				Env: w.Name, Config: cfg, Run: idx,
 				Iteration: scale.OnlineIters,
 				Reward:    training.CumulativeReward(),
+			})
+			rc.Emit(Event{
+				Phase: "evaluate",
+				Env:   w.Name, Config: cfg, Run: idx,
+				Iteration: scale.EvalSteps,
+				Reward:    sfd,
+				Backend:   e.cells[idx].Backend,
+				EnergyMJ:  cost.EnergyMJ,
+				LatencyMS: cost.LatencyMS,
+				Cycles:    cost.Cycles,
 			})
 			return nil
 		},
@@ -305,9 +370,11 @@ func (e *FlightExperiment) aggregate() *FlightReport {
 				if r == 0 {
 					agg.RewardSeries = c.RewardSeries
 					agg.ReturnSeries = c.ReturnSeries
+					agg.Backend = c.Backend
 				}
 				agg.SFD += c.SFD
 				agg.Crashes += c.Crashes
+				agg.EvalCost.Add(c.EvalCost)
 			}
 			agg.SFD /= seedRepeats
 			if cfg == nn.E2E {
@@ -327,6 +394,17 @@ func (e *FlightExperiment) aggregate() *FlightReport {
 			}
 		}
 		rep.Envs = append(rep.Envs, er)
+	}
+	// Merge the per-run ledgers in run-index order: deterministic totals
+	// for every worker count, no locking on the per-access hot path.
+	for _, l := range e.ledgers {
+		if l == nil {
+			continue
+		}
+		if rep.Energy == nil {
+			rep.Energy = mem.NewLedger()
+		}
+		rep.Energy.Merge(l)
 	}
 	return rep
 }

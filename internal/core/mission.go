@@ -49,6 +49,14 @@ type MissionResult struct {
 	WallClockS float64
 	// FPS is the hardware-sustainable frame rate used.
 	FPS float64
+	// Backend names the inference backend the mission's greedy decisions
+	// ran on ("" for the direct float path). Only inference-only missions
+	// deploy onto a backend; online missions train the float network.
+	Backend string
+	// BackendCost is the backend's own accumulated cost ledger summary
+	// (independent of the budget accounting above, which always uses the
+	// analytical per-frame model).
+	BackendCost nn.BackendCost
 }
 
 // String renders a one-line mission summary.
@@ -173,12 +181,28 @@ func (e *MissionExperiment) Phases() []Phase {
 				if err != nil {
 					return err
 				}
+				// Inference-only missions are deployments: the policy runs
+				// on the selected backend. Online missions keep training
+				// the float network, so they stay on the float path.
+				if !e.online {
+					if err := agent.ActivateEvalBackend(); err != nil {
+						return fmt.Errorf("core: mission under %v: %w", cfg, err)
+					}
+				}
 				e.results[i] = RunMission(w, agent, hw.NewModel(), MissionConfig{
 					Config: cfg, Batch: e.batch, ComputeBudgetJ: e.budgetJ, Online: e.online,
 				})
+				if b := agent.EvalBackend(); b != nil {
+					e.results[i].Backend = b.Name()
+					e.results[i].BackendCost = agent.EvalCost()
+				}
 				rc.Emit(Event{
 					Env: w.Name, Config: cfg, Run: i,
 					Iteration: e.results[i].Frames, Reward: e.results[i].DistanceM,
+					Backend:   e.results[i].Backend,
+					EnergyMJ:  e.results[i].BackendCost.EnergyMJ,
+					LatencyMS: e.results[i].BackendCost.LatencyMS,
+					Cycles:    e.results[i].BackendCost.Cycles,
 				})
 				return nil
 			},

@@ -1,0 +1,163 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+func newTestBackend(t *testing.T, cfg nn.Config, seed int64) (*SystolicBackend, *nn.Network) {
+	t.Helper()
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(seed)))
+	net.SetConfig(cfg)
+	b, err := NewSystolicBackend(net, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, net
+}
+
+// TestSystolicBackendNumericFidelity: the Q-values computed through the
+// row-stationary and tiled-FC dataflows must match the float reference up
+// to float32 reassociation noise.
+func TestSystolicBackendNumericFidelity(t *testing.T) {
+	b, net := newTestBackend(t, nn.L3, 21)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 5; trial++ {
+		obs := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		obs.RandUniform(rng, 1)
+		want := net.Forward(obs.Clone()).Data()
+		got := b.Infer(obs)
+		if len(got) != len(want) {
+			t.Fatalf("got %d Q-values, want %d", len(got), len(want))
+		}
+		for i := range got {
+			diff := math.Abs(float64(got[i] - want[i]))
+			if diff > 1e-3 {
+				t.Errorf("trial %d: Q[%d] = %v vs float %v (diff %g)", trial, i, got[i], want[i], diff)
+			}
+		}
+	}
+	c := b.Counters()
+	if c.MACs == 0 || c.GBReadWords == 0 {
+		t.Errorf("functional emulation reported no work: %+v", c)
+	}
+}
+
+// TestSystolicBackendBreakdownConsistency is the pinned accounting test:
+// the sink components must sum to the backend's total cost, the ledger's
+// device totals must match the breakdown's memory components within 1%,
+// and inference under any topology must never write the stack.
+func TestSystolicBackendBreakdownConsistency(t *testing.T) {
+	for _, cfg := range nn.Configs {
+		b, _ := newTestBackend(t, cfg, 31)
+		rng := rand.New(rand.NewSource(32))
+		obs := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		const inferences = 12
+		for i := 0; i < inferences; i++ {
+			obs.RandUniform(rng, 1)
+			b.Infer(obs)
+		}
+
+		cost := b.Cost()
+		if cost.Inferences != inferences {
+			t.Fatalf("%v: counted %d inferences", cfg, cost.Inferences)
+		}
+		if cost.EnergyMJ <= 0 || cost.LatencyMS <= 0 || cost.Cycles <= 0 {
+			t.Fatalf("%v: cost %+v must be positive", cfg, cost)
+		}
+
+		br := b.Breakdown()
+		if br.NVMWriteMJ != 0 {
+			t.Errorf("%v: inference wrote the stack: %v mJ", cfg, br.NVMWriteMJ)
+		}
+		sum := br.ComputeMJ + br.MRAMReadMJ + br.NVMWriteMJ + br.LinkMJ
+		if rel := math.Abs(sum-br.TotalMJ()) / br.TotalMJ(); rel > 1e-12 {
+			t.Errorf("%v: components sum %v != TotalMJ %v", cfg, sum, br.TotalMJ())
+		}
+		if rel := math.Abs(br.TotalMJ()-cost.EnergyMJ) / cost.EnergyMJ; rel > 0.01 {
+			t.Errorf("%v: breakdown total %v diverges from cost %v", cfg, br.TotalMJ(), cost.EnergyMJ)
+		}
+
+		// Ledger cross-check: the breakdown's memory components are the
+		// ledger's device totals.
+		led := b.Ledger()
+		mram := led.Total("STT-MRAM").EnergyPJ / 1e9
+		if rel := math.Abs(mram-(br.MRAMReadMJ+br.NVMWriteMJ)) / mram; rel > 0.01 {
+			t.Errorf("%v: MRAM ledger %v mJ vs breakdown %v mJ", cfg, mram, br.MRAMReadMJ+br.NVMWriteMJ)
+		}
+		dram := led.Total("DRAM").EnergyPJ / 1e9
+		if rel := math.Abs(dram-br.LinkMJ) / dram; rel > 0.01 {
+			t.Errorf("%v: DRAM ledger %v mJ vs breakdown link %v mJ", cfg, dram, br.LinkMJ)
+		}
+	}
+}
+
+// TestSystolicBackendTrainStepWriteAsymmetry is the co-design point: charged
+// training steps write the STT-MRAM stack only under the E2E baseline; for
+// every L-topology the trained layers are SRAM-resident and the NVM write
+// energy stays identically zero.
+func TestSystolicBackendTrainStepWriteAsymmetry(t *testing.T) {
+	obs := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+	for _, cfg := range nn.Configs {
+		b, _ := newTestBackend(t, cfg, 41)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 4; i++ {
+			obs.RandUniform(rng, 1)
+			b.Infer(obs)
+			b.ChargeTrainStep()
+		}
+		if b.TrainSteps() != 4 {
+			t.Fatalf("%v: %d train steps charged", cfg, b.TrainSteps())
+		}
+		br := b.Breakdown()
+		writes := b.Ledger().Total("STT-MRAM").WriteBits
+		if cfg == nn.E2E {
+			if br.NVMWriteMJ <= 0 || writes <= 0 {
+				t.Errorf("E2E training must write the stack: %v mJ, %d bits", br.NVMWriteMJ, writes)
+			}
+		} else {
+			if br.NVMWriteMJ != 0 || writes != 0 {
+				t.Errorf("%v training wrote the stack: %v mJ, %d bits (must be identically zero)",
+					cfg, br.NVMWriteMJ, writes)
+			}
+		}
+		// Training re-streams weights: MRAM reads must exceed the
+		// inference-only stream.
+		inferOnly, _ := newTestBackend(t, cfg, 41)
+		rng2 := rand.New(rand.NewSource(42))
+		for i := 0; i < 4; i++ {
+			obs.RandUniform(rng2, 1)
+			inferOnly.Infer(obs)
+		}
+		if b.Ledger().Total("STT-MRAM").ReadBits <= inferOnly.Ledger().Total("STT-MRAM").ReadBits {
+			t.Errorf("%v: training did not add weight re-streams", cfg)
+		}
+	}
+}
+
+// TestSystolicBackendRejectsUnmappableLayers: LRN has no PE-array mapping.
+func TestSystolicBackendRejectsUnmappableLayers(t *testing.T) {
+	net := nn.NewNetwork(nn.NewLRN("lrn"))
+	if _, err := NewSystolicBackend(net, nn.NavNetSpec(), nn.L3); err == nil {
+		t.Error("LRN must be rejected")
+	}
+}
+
+func TestSystolicBackendRegistered(t *testing.T) {
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(5)))
+	b, err := nn.NewBackendFor("systolic", net, spec, nn.L4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "systolic" {
+		t.Errorf("name %q", b.Name())
+	}
+}

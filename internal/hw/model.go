@@ -52,13 +52,22 @@ type Model struct {
 // NewModel builds the default model: the paper's modified AlexNet on the
 // Fig. 4 platform.
 func NewModel() *Model {
+	return NewModelFor(nn.ModifiedAlexNetSpec())
+}
+
+// NewModelFor builds the model for an arbitrary architecture on the paper's
+// platform (the same array, memory devices and calibrated power constants).
+// The cost mechanisms are architecture-generic, so this prices the scaled
+// NavNet — and anything else an ArchSpec can describe — exactly the way the
+// published tables price the full AlexNet.
+func NewModelFor(arch nn.ArchSpec) *Model {
 	return &Model{
 		Array:   systolic.DefaultArray(),
 		MRAM:    mem.STTMRAM(),
 		SRAM:    mem.SRAM(30 << 20),
 		HBM:     mem.DefaultHBM(),
 		Link:    mem.DefaultDDRLink(),
-		Arch:    nn.ModifiedAlexNetSpec(),
+		Arch:    arch,
 		PbaseMW: 1000,
 		PpeMW:   5.66,
 	}

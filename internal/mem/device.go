@@ -6,7 +6,10 @@
 // experiment.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // AccessKind distinguishes reads from writes.
 type AccessKind int
@@ -139,9 +142,19 @@ type AccessRecord struct {
 }
 
 // EnergyLedger accumulates the traffic of an experiment per device.
+//
+// A ledger is NOT safe for concurrent use. The parallel experiment engine
+// gives every run its own ledger and merges them (Merge) after the runs
+// drain, in run-index order — the per-worker-then-merge pattern that keeps
+// accumulation race-free without putting a lock on the per-access hot path,
+// and keeps the merged totals deterministic for every worker count.
 type EnergyLedger struct {
 	records []AccessRecord
 	totals  map[string]*LedgerTotal
+	// compact drops the per-access record log and keeps only the totals,
+	// bounding memory when a backend charges every camera frame of a long
+	// flight.
+	compact bool
 }
 
 // LedgerTotal summarizes one device's traffic.
@@ -151,9 +164,25 @@ type LedgerTotal struct {
 	EnergyPJ            float64
 }
 
+// Add merges another total.
+func (t *LedgerTotal) Add(o LedgerTotal) {
+	t.ReadBits += o.ReadBits
+	t.WriteBits += o.WriteBits
+	t.TimeNS += o.TimeNS
+	t.EnergyPJ += o.EnergyPJ
+}
+
 // NewLedger creates an empty ledger.
 func NewLedger() *EnergyLedger {
 	return &EnergyLedger{totals: make(map[string]*LedgerTotal)}
+}
+
+// NewCompactLedger creates a ledger that accumulates per-device totals but
+// drops the raw access log, for charging every frame of a long run.
+func NewCompactLedger() *EnergyLedger {
+	l := NewLedger()
+	l.compact = true
+	return l
 }
 
 // Record logs one access and returns its cost.
@@ -163,7 +192,9 @@ func (l *EnergyLedger) Record(d *Device, kind AccessKind, bits int64) AccessReco
 		TimeNS: d.AccessTimeNS(kind, bits),
 		PJ:     d.EnergyPJ(kind, bits),
 	}
-	l.records = append(l.records, r)
+	if !l.compact {
+		l.records = append(l.records, r)
+	}
 	t := l.totals[d.Name]
 	if t == nil {
 		t = &LedgerTotal{}
@@ -188,31 +219,70 @@ func (l *EnergyLedger) Total(device string) LedgerTotal {
 	return LedgerTotal{}
 }
 
-// TotalEnergyPJ sums energy across devices.
+// TotalEnergyPJ sums energy across devices, in sorted device order so the
+// float sum is identical on every call (map iteration order is not).
 func (l *EnergyLedger) TotalEnergyPJ() float64 {
 	var s float64
-	for _, t := range l.totals {
-		s += t.EnergyPJ
+	for _, name := range l.Devices() {
+		s += l.totals[name].EnergyPJ
 	}
 	return s
 }
 
-// TotalTimeNS sums serialized access time across devices.
+// TotalTimeNS sums serialized access time across devices, in sorted device
+// order.
 func (l *EnergyLedger) TotalTimeNS() float64 {
 	var s float64
-	for _, t := range l.totals {
-		s += t.TimeNS
+	for _, name := range l.Devices() {
+		s += l.totals[name].TimeNS
 	}
 	return s
 }
 
-// Records returns the raw access log.
+// Records returns the raw access log (nil for compact ledgers).
 func (l *EnergyLedger) Records() []AccessRecord { return l.records }
+
+// Devices returns the names of every device that appears in the ledger,
+// sorted, so summaries iterate deterministically.
+func (l *EnergyLedger) Devices() []string {
+	names := make([]string, 0, len(l.totals))
+	for name := range l.totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds another ledger's traffic into l: totals are summed per device
+// and o's access log (if any) is appended — unless l is compact, which
+// keeps totals only. Merging the per-run ledgers of a
+// parallel sweep in run-index order makes the totals deterministic for
+// every worker count — shard contents and merge order are both fixed, so
+// the float sums always see the same operands in the same grouping. o is
+// left unchanged.
+func (l *EnergyLedger) Merge(o *EnergyLedger) {
+	if o == nil {
+		return
+	}
+	if !l.compact {
+		l.records = append(l.records, o.records...)
+	}
+	for _, name := range o.Devices() {
+		src := o.totals[name]
+		t := l.totals[name]
+		if t == nil {
+			t = &LedgerTotal{}
+			l.totals[name] = t
+		}
+		t.Add(*src)
+	}
+}
 
 // String renders a per-device summary.
 func (l *EnergyLedger) String() string {
 	s := ""
-	for name, t := range l.totals {
+	for _, name := range l.Devices() {
+		t := l.totals[name]
 		s += fmt.Sprintf("%s: read %d b, write %d b, %.1f ns, %.1f pJ\n",
 			name, t.ReadBits, t.WriteBits, t.TimeNS, t.EnergyPJ)
 	}

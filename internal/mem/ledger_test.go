@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLedgerMergeMatchesSerial asserts the per-worker-then-merge pattern:
+// many goroutines accumulating into private ledgers, merged in index order,
+// must reproduce the single serial ledger bit for bit. This test runs under
+// the CI -race job — a shared ledger without the pattern is a data race.
+func TestLedgerMergeMatchesSerial(t *testing.T) {
+	devices := []*Device{STTMRAM(), SRAM(30 << 20), DRAM()}
+	const workers = 8
+	const perWorker = 200
+
+	charge := func(l *EnergyLedger, worker int) {
+		for i := 0; i < perWorker; i++ {
+			d := devices[(worker+i)%len(devices)]
+			kind := Read
+			if i%3 == 0 {
+				kind = Write
+			}
+			l.Record(d, kind, int64(512+worker*64+i))
+		}
+	}
+
+	// Serial reference: one ledger, workers in order.
+	serial := NewLedger()
+	for w := 0; w < workers; w++ {
+		charge(serial, w)
+	}
+
+	// Parallel: one private ledger per worker, merged in index order.
+	shards := make([]*EnergyLedger, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = NewLedger()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			charge(shards[w], w)
+		}(w)
+	}
+	wg.Wait()
+	merged := NewLedger()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+
+	// Bit counts are integers and must match exactly; energy/time sums are
+	// floats whose partial-sum grouping differs between the serial and the
+	// sharded fold, so they agree to relative epsilon. What must be exact
+	// is determinism: merging the same shards in the same order twice.
+	relClose := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-9*math.Abs(want)
+	}
+	if got, want := merged.TotalEnergyPJ(), serial.TotalEnergyPJ(); !relClose(got, want) {
+		t.Errorf("merged energy %v != serial %v", got, want)
+	}
+	if got, want := merged.TotalTimeNS(), serial.TotalTimeNS(); !relClose(got, want) {
+		t.Errorf("merged time %v != serial %v", got, want)
+	}
+	for _, d := range devices {
+		got, want := merged.Total(d.Name), serial.Total(d.Name)
+		if got.ReadBits != want.ReadBits || got.WriteBits != want.WriteBits {
+			t.Errorf("%s: merged bits %+v != serial %+v", d.Name, got, want)
+		}
+		if !relClose(got.EnergyPJ, want.EnergyPJ) || !relClose(got.TimeNS, want.TimeNS) {
+			t.Errorf("%s: merged %+v != serial %+v", d.Name, got, want)
+		}
+	}
+	// Determinism: re-merging the same shards in the same order reproduces
+	// the merged totals bit for bit — the engine's reproducibility rests on
+	// merge order, not scheduling order.
+	again := NewLedger()
+	for _, s := range shards {
+		again.Merge(s)
+	}
+	if again.TotalEnergyPJ() != merged.TotalEnergyPJ() {
+		t.Error("same merge order must reproduce totals exactly")
+	}
+	if got, want := len(merged.Records()), len(serial.Records()); got != want {
+		t.Errorf("merged %d records, serial %d", got, want)
+	}
+}
+
+func TestCompactLedgerKeepsTotalsDropsRecords(t *testing.T) {
+	full := NewLedger()
+	compact := NewCompactLedger()
+	d := STTMRAM()
+	for i := 0; i < 10; i++ {
+		full.Record(d, Read, 1024)
+		compact.Record(d, Read, 1024)
+	}
+	if compact.Records() != nil {
+		t.Errorf("compact ledger kept %d records", len(compact.Records()))
+	}
+	if got, want := compact.Total(d.Name), full.Total(d.Name); got != want {
+		t.Errorf("compact totals %+v != full %+v", got, want)
+	}
+	// Merging a compact ledger into a full one carries the totals.
+	sum := NewLedger()
+	sum.Merge(compact)
+	sum.Merge(nil) // no-op
+	if got, want := sum.TotalEnergyPJ(), full.TotalEnergyPJ(); got != want {
+		t.Errorf("merged energy %v != %v", got, want)
+	}
+}

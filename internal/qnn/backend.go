@@ -1,0 +1,79 @@
+package qnn
+
+import (
+	"dronerl/internal/mem"
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// Backend is the nn.Backend over the integer inference engine: the float
+// network is Compiled once into 16-bit fixed-point layers, and every Infer
+// runs entirely in the accelerator's integer arithmetic. The Q-values it
+// returns are the dequantized output words, so the greedy argmax is exactly
+// the decision the deployed PE datapath would take — including the
+// near-tie flips the 16-bit quantization introduces.
+//
+// Cost model: the quantized network is the artifact stored in the STT-MRAM
+// stack, so each inference is charged one full weight stream from the stack
+// at Table 1 read timing and energy, recorded against the backend's ledger.
+type Backend struct {
+	net *Network
+	// mram prices the per-inference weight stream.
+	mram   *mem.Device
+	ledger *mem.EnergyLedger
+	cost   nn.BackendCost
+	// weightBits is the read traffic of one inference.
+	weightBits int64
+	out        []float32
+}
+
+// NewBackend compiles a trained float network into the integer engine with
+// the default formats (Q2.13 weights, Q7.8 activations).
+func NewBackend(src *nn.Network) (*Backend, error) {
+	qnet, err := Compile(src, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		net:        qnet,
+		mram:       mem.STTMRAM(),
+		ledger:     mem.NewCompactLedger(),
+		weightBits: qnet.WeightBits(),
+	}, nil
+}
+
+// Name implements nn.Backend.
+func (b *Backend) Name() string { return "quant" }
+
+// Infer implements nn.Backend: quantize the observation, run the integer
+// pipeline, dequantize the Q-value words. The returned slice is reused by
+// the next call.
+func (b *Backend) Infer(obs *tensor.Tensor) []float32 {
+	words, outFmt := b.net.Forward(obs)
+	if cap(b.out) < len(words) {
+		b.out = make([]float32, len(words))
+	}
+	b.out = b.out[:len(words)]
+	for i, w := range words {
+		b.out[i] = float32(outFmt.ToFloat(w))
+	}
+	rec := b.ledger.Record(b.mram, mem.Read, b.weightBits)
+	b.cost.Inferences++
+	b.cost.EnergyMJ += rec.PJ / 1e9
+	b.cost.LatencyMS += rec.TimeNS / 1e6
+	return b.out
+}
+
+// Cost implements nn.CostReporter.
+func (b *Backend) Cost() nn.BackendCost { return b.cost }
+
+// Ledger exposes the backend's weight-stream ledger (totals only).
+func (b *Backend) Ledger() *mem.EnergyLedger { return b.ledger }
+
+func init() {
+	if err := nn.RegisterBackend("quant", func(net *nn.Network, _ nn.ArchSpec, _ nn.Config) (nn.Backend, error) {
+		return NewBackend(net)
+	}); err != nil {
+		panic(err)
+	}
+}

@@ -36,6 +36,13 @@ type Options struct {
 	// (TargetSync > 0) and is off by default — the paper uses the plain
 	// Eq. (1) target.
 	DoubleDQN bool
+	// EvalBackend names the compute backend used for greedy evaluation and
+	// deployment once ActivateEvalBackend is called: "float" (the GEMM
+	// reference, bit-identical to the backend-less path), "quant" (16-bit
+	// fixed-point inference) or "systolic" (the PE-array emulation with
+	// energy accounting), resolved through the nn backend registry. Empty —
+	// the default — keeps the historical direct float path.
+	EvalBackend string
 	// Seed fixes the agent's private RNG.
 	Seed int64
 
@@ -88,11 +95,17 @@ type Agent struct {
 	Target *nn.Network
 
 	opts       Options
+	spec       nn.ArchSpec
+	cfg        nn.Config
 	actions    int
 	rng        *rand.Rand
 	replay     *ReplayBuffer
 	envSteps   int
 	trainSteps int
+
+	// evalBackend, once activated, serves Greedy instead of the direct
+	// float forward pass (see ActivateEvalBackend).
+	evalBackend nn.Backend
 
 	// Reusable training-step buffers: the sampled minibatch, the stacked
 	// state/next-state/gradient tensors and the per-sample TD targets.
@@ -121,6 +134,8 @@ func NewAgent(spec nn.ArchSpec, cfg nn.Config, opts Options) *Agent {
 	a := &Agent{
 		Net:     net,
 		opts:    opts,
+		spec:    spec,
+		cfg:     cfg,
 		actions: spec.FCs[len(spec.FCs)-1].Out,
 		rng:     rng,
 		replay:  NewReplayBuffer(opts.ReplayCapacity),
@@ -133,8 +148,14 @@ func NewAgent(spec nn.ArchSpec, cfg nn.Config, opts Options) *Agent {
 }
 
 // SetConfig re-freezes the network to a different topology (used when the
-// same transferred weights are evaluated under L2/L3/L4/E2E).
-func (a *Agent) SetConfig(cfg nn.Config) { a.Net.SetConfig(cfg) }
+// same transferred weights are evaluated under L2/L3/L4/E2E). Any activated
+// evaluation backend is dropped — the topology decides weight residency in
+// the memory hierarchy, so the backend must be rebuilt.
+func (a *Agent) SetConfig(cfg nn.Config) {
+	a.Net.SetConfig(cfg)
+	a.cfg = cfg
+	a.evalBackend = nil
+}
 
 func (a *Agent) syncTarget() {
 	if a.Target == nil {
@@ -165,10 +186,48 @@ func (a *Agent) SelectAction(obs *tensor.Tensor) int {
 	return a.Greedy(obs)
 }
 
-// Greedy returns argmax_a Q(obs, a) without exploration.
+// Greedy returns argmax_a Q(obs, a) without exploration. With an activated
+// evaluation backend the Q-values come from that backend — the 16-bit
+// integer engine or the priced PE-array emulation — otherwise from the
+// float network directly (and the "float" backend is bit-identical to the
+// direct path, ties included).
 func (a *Agent) Greedy(obs *tensor.Tensor) int {
+	if a.evalBackend != nil {
+		return argmaxRow(a.evalBackend.Infer(obs))
+	}
 	q := a.Net.Forward(obs.Clone())
 	return q.ArgMax()
+}
+
+// ActivateEvalBackend builds and installs the evaluation backend named by
+// the options for subsequent Greedy calls. Call it after training, at the
+// hand-off into a greedy evaluation or deployment phase: backends capture
+// the weights as they are now (the quant backend compiles them, the
+// systolic backend places them into the modeled memory hierarchy). It is a
+// no-op when the options name no backend or one is already active.
+func (a *Agent) ActivateEvalBackend() error {
+	if a.opts.EvalBackend == "" || a.evalBackend != nil {
+		return nil
+	}
+	b, err := nn.NewBackendFor(a.opts.EvalBackend, a.Net, a.spec, a.cfg)
+	if err != nil {
+		return err
+	}
+	a.evalBackend = b
+	return nil
+}
+
+// EvalBackend returns the active evaluation backend (nil before
+// ActivateEvalBackend, or when the options select the direct float path).
+func (a *Agent) EvalBackend() nn.Backend { return a.evalBackend }
+
+// EvalCost returns the active backend's accumulated hardware cost; the
+// zero value when no backend is active or it has no cost model.
+func (a *Agent) EvalCost() nn.BackendCost {
+	if cr, ok := a.evalBackend.(nn.CostReporter); ok {
+		return cr.Cost()
+	}
+	return nn.BackendCost{}
 }
 
 // QValues returns the Q-vector for an observation.

@@ -3,6 +3,8 @@ package rl
 import (
 	"errors"
 	"fmt"
+
+	"dronerl/internal/nn"
 )
 
 // This file is the option/validation layer over Options. The historical API
@@ -29,6 +31,7 @@ const (
 	fieldGradClip
 	fieldDoubleDQN
 	fieldSeed
+	fieldEvalBackend
 )
 
 // isSet reports whether a field was set through a functional option.
@@ -184,6 +187,22 @@ func WithGradClip(limit float64) Option {
 	}
 }
 
+// WithEvalBackend selects the compute backend for greedy evaluation and
+// deployment by registry name ("float", "quant", "systolic"). The name is
+// checked against the nn backend registry by Validate, so a typo — or a
+// backend whose implementing package is not linked into the binary — fails
+// loudly instead of silently evaluating on the float path.
+func WithEvalBackend(name string) Option {
+	return func(o *Options) error {
+		if name == "" {
+			return fmt.Errorf("rl: evaluation backend name is empty (registered: %v)", nn.BackendNames())
+		}
+		o.EvalBackend = name
+		o.mark(fieldEvalBackend)
+		return nil
+	}
+}
+
 // WithSeed fixes the agent's private RNG. An explicit 0 is a valid seed
 // (the struct-literal path historically replaced it with 1).
 func WithSeed(seed int64) Option {
@@ -234,6 +253,10 @@ func (o Options) Validate() error {
 	if r.DoubleDQN && r.TargetSync == 0 {
 		errs = append(errs, errors.New("rl: DoubleDQN requires a target network (TargetSync > 0)"))
 	}
+	if r.EvalBackend != "" && !nn.HasBackend(r.EvalBackend) {
+		errs = append(errs, fmt.Errorf("rl: unknown evaluation backend %q (registered: %v)",
+			r.EvalBackend, nn.BackendNames()))
+	}
 	return errors.Join(errs...)
 }
 
@@ -275,6 +298,9 @@ func (o Options) Merge(over Options) Options {
 	}
 	if over.isSet(fieldSeed) {
 		out.Seed = over.Seed
+	}
+	if over.isSet(fieldEvalBackend) {
+		out.EvalBackend = over.EvalBackend
 	}
 	out.explicit |= over.explicit
 	return out

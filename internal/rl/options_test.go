@@ -1,10 +1,12 @@
 package rl
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
 	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
 )
 
 // TestStructLiteralDefaultsUnchanged pins the historical zero-value
@@ -124,6 +126,72 @@ func TestMergeLayersExplicitFieldsOnly(t *testing.T) {
 	// The merge of a template with an empty override is the template.
 	if got := template.Merge(Options{}); got != template {
 		t.Errorf("empty merge changed the template: %+v", got)
+	}
+}
+
+// TestEvalBackendOption checks backend selection through the option layer:
+// registered names resolve, unknown or empty names fail loudly, and Merge
+// carries an explicitly-set backend onto a template.
+func TestEvalBackendOption(t *testing.T) {
+	o, err := NewOptions(WithEvalBackend("float"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.EvalBackend != "float" {
+		t.Errorf("EvalBackend %q", o.EvalBackend)
+	}
+	if _, err := NewOptions(WithEvalBackend("antigravity")); err == nil {
+		t.Error("unknown backend name must fail validation")
+	}
+	if _, err := NewOptions(WithEvalBackend("")); err == nil {
+		t.Error("empty backend name must fail")
+	}
+	if err := (Options{EvalBackend: "nope"}).Validate(); err == nil {
+		t.Error("struct-literal unknown backend must fail Validate")
+	}
+	template := Options{Seed: 1, BatchSize: 4}
+	m := template.Merge(o)
+	if m.EvalBackend != "float" {
+		t.Errorf("merge dropped the backend: %+v", m)
+	}
+	if got := template.Merge(Options{}); got.EvalBackend != "" {
+		t.Errorf("empty merge invented a backend: %+v", got)
+	}
+}
+
+// TestActivateEvalBackendInstallsFloat: the float backend keeps Greedy
+// bit-identical while reporting its presence through EvalBackend.
+func TestActivateEvalBackendInstallsFloat(t *testing.T) {
+	opts, err := NewOptions(WithSeed(3), WithEvalBackend("float"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withB := NewAgent(nn.NavNetSpec(), nn.L3, opts)
+	plain := NewAgent(nn.NavNetSpec(), nn.L3, Options{Seed: 3})
+	if withB.EvalBackend() != nil {
+		t.Error("backend active before ActivateEvalBackend")
+	}
+	if err := withB.ActivateEvalBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if withB.EvalBackend() == nil || withB.EvalBackend().Name() != "float" {
+		t.Fatal("float backend not installed")
+	}
+	if cost := withB.EvalCost(); cost != (nn.BackendCost{}) {
+		t.Errorf("float backend reported costs %+v", cost)
+	}
+	obs := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5; i++ {
+		obs.RandUniform(rng, 1)
+		if a, b := withB.Greedy(obs), plain.Greedy(obs); a != b {
+			t.Fatalf("greedy diverged: %d vs %d", a, b)
+		}
+	}
+	// Re-freezing the topology drops the backend (residency changes).
+	withB.SetConfig(nn.L2)
+	if withB.EvalBackend() != nil {
+		t.Error("SetConfig must invalidate the backend")
 	}
 }
 

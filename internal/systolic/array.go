@@ -140,7 +140,9 @@ func (a *Array) convPass(in, w *tensor.Tensor, shape ConvShape, m ConvMapping,
 
 // rowConv is the primitive one PE executes: a 1-D convolution of one
 // filter row against one input row for one output row, accumulated into
-// the output (the pSUM register semantics).
+// the output (the pSUM register semantics). The loops index the backing
+// slices directly — the variadic At/Set accessors dominated the emulation's
+// profile — preserving the accumulation order bit for bit.
 func (a *Array) rowConv(in, w *tensor.Tensor, shape ConvShape, out *tensor.Tensor,
 	oc, oy, ky, icBase, icEnd int) {
 
@@ -150,20 +152,29 @@ func (a *Array) rowConv(in, w *tensor.Tensor, shape ConvShape, out *tensor.Tenso
 		return // padding row: contributes zero
 	}
 	outW := shape.OutW()
+	id, wd, od := in.Data(), w.Data(), out.Data()
+	inRowStride := shape.InH * shape.InW
+	kk := shape.K * shape.K
+	outRow := od[oc*shape.OutH()*outW+oy*outW:]
+	var macs int64
 	for ox := 0; ox < outW; ox++ {
 		var acc float32
+		xBase := ox*shape.Stride - shape.Pad
 		for ic := icBase; ic < icEnd; ic++ {
+			inRow := id[ic*inRowStride+iy*shape.InW:]
+			wRow := wd[(oc*shape.InC+ic)*kk+ky*shape.K:]
 			for kx := 0; kx < shape.K; kx++ {
-				ix := ox*shape.Stride - shape.Pad + kx
+				ix := xBase + kx
 				if ix < 0 || ix >= shape.InW {
 					continue
 				}
-				acc += in.At(ic, iy, ix) * w.At(oc, ic, ky, kx)
-				a.Counters.MACs++
+				acc += inRow[ix] * wRow[kx]
+				macs++
 			}
 		}
-		out.Set(out.At(oc, oy, ox)+acc, oc, oy, ox)
+		outRow[ox] += acc
 	}
+	a.Counters.MACs += macs
 }
 
 // DirectConv is the reference convolution used to validate the mapped

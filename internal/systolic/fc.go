@@ -36,6 +36,7 @@ func (a *Array) FCForward(w *tensor.Tensor, x, b []float32) []float32 {
 		panic(fmt.Sprintf("systolic: FCForward bias length %d, want %d", len(b), out))
 	}
 	y := make([]float32, out)
+	wd := w.Data()
 	rt, ct := a.Cfg.Rows, a.Cfg.Cols
 	// Tile the matrix: PE(r,c) holds block rows [i0,i1) x cols [j0,j1).
 	// Row tiles cover the input dimension, column tiles the output.
@@ -58,7 +59,7 @@ func (a *Array) FCForward(w *tensor.Tensor, x, b []float32) []float32 {
 					if j >= out {
 						break
 					}
-					y[j] += w.At(j, i) * xi
+					y[j] += wd[j*in+i] * xi
 					a.Counters.MACs++
 				}
 			}
@@ -88,6 +89,7 @@ func (a *Array) FCTransposed(w *tensor.Tensor, g []float32) []float32 {
 		panic(fmt.Sprintf("systolic: FCTransposed gradient length %d, want %d", len(g), out))
 	}
 	dx := make([]float32, in)
+	wd := w.Data()
 	rt, ct := a.Cfg.Rows, a.Cfg.Cols
 	rowTiles := ceilDiv(in, rt)
 	colTiles := ceilDiv(out, ct)
@@ -110,7 +112,7 @@ func (a *Array) FCTransposed(w *tensor.Tensor, g []float32) []float32 {
 					if i >= in {
 						break
 					}
-					dx[i] += w.At(j, i) * gj
+					dx[i] += wd[j*in+i] * gj
 					a.Counters.MACs++
 				}
 			}

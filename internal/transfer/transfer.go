@@ -58,6 +58,10 @@ type Result struct {
 	Config   nn.Config
 	Training *metrics.FlightTracker
 	Eval     *metrics.FlightTracker
+	// Backend names the inference backend of the evaluation phase ("" for
+	// the direct float path) and EvalCost its accumulated hardware cost.
+	Backend  string
+	EvalCost nn.BackendCost
 }
 
 // SFD returns the run's evaluated safe flight distance.
@@ -69,7 +73,10 @@ func (r Result) SFD() float64 {
 }
 
 // RunOnline deploys the snapshot into a test world under cfg, trains online
-// for onlineIters and then evaluates greedily for evalSteps.
+// for onlineIters and then evaluates greedily for evalSteps. When the
+// options select an evaluation backend it is activated at the training /
+// evaluation hand-off, so the greedy flight runs on the deployment
+// substrate while training stays on the float reference.
 func RunOnline(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, cfg nn.Config,
 	onlineIters, evalSteps int, opts rl.Options) (Result, error) {
 
@@ -79,6 +86,14 @@ func RunOnline(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, cfg nn.
 	}
 	trainer := rl.NewTrainer(test, agent, onlineIters)
 	training := trainer.Run(onlineIters)
+	if err := agent.ActivateEvalBackend(); err != nil {
+		return Result{}, err
+	}
 	eval := trainer.Evaluate(evalSteps)
-	return Result{Env: test.Name, Config: cfg, Training: training, Eval: eval}, nil
+	res := Result{Env: test.Name, Config: cfg, Training: training, Eval: eval}
+	if b := agent.EvalBackend(); b != nil {
+		res.Backend = b.Name()
+		res.EvalCost = agent.EvalCost()
+	}
+	return res, nil
 }
