@@ -234,6 +234,22 @@ func WithDoubleDQN(on bool) Option { return agentOption(rl.WithDoubleDQN(on)) }
 // clipping.
 func WithGradClip(limit float64) Option { return agentOption(rl.WithGradClip(limit)) }
 
+// WithActors sets the number of concurrent actors of the online-learning
+// phases (>= 1). The default 1 runs the deterministic serial schedule,
+// bit-identical to the historical loop; higher counts run the asynchronous
+// actor/learner pipeline — actors step cloned worlds and feed per-actor
+// replay shards while the learner trains concurrently and publishes policy
+// snapshots the actors adopt at episode boundaries. Learning results of
+// multi-actor runs depend on goroutine interleaving and are not
+// reproducible run to run.
+func WithActors(n int) Option { return agentOption(rl.WithActors(n)) }
+
+// WithSyncEvery sets the learner's policy-publish interval in training
+// steps (>= 1, default 8). Only meaningful with WithActors(n > 1); under
+// E2E every publish pays an STT-MRAM snapshot write in the energy
+// accounting, under L2/L3/L4 only cheap SRAM buffer traffic.
+func WithSyncEvery(steps int) Option { return agentOption(rl.WithSyncEvery(steps)) }
+
 // Inference backends selectable with WithBackend. Training always runs on
 // the float reference; the backend is the substrate the trained policy is
 // deployed onto for the greedy evaluation and deployment phases, which is

@@ -9,7 +9,9 @@
 package dronerl
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"dronerl/internal/core"
@@ -569,3 +571,89 @@ func BenchmarkSystolicConvMapped(b *testing.B) {
 		arr.Conv(in, w, shape)
 	}
 }
+
+// Online-learning throughput: the headline comparison of the actor/learner
+// pipeline. Every sub-benchmark executes the same workload — 512 online RL
+// steps over an L3 deployment of a transferred meta-model, one TrainStep per
+// 4 env steps — differing only in the schedule: the serial reference loop,
+// or the async pipeline at 4 and 8 actors (batched frozen-prefix inference
+// across the fleet, learner training concurrently from the replay shards).
+// Acceptance target: >= 2x over the serial path at 8 actors.
+
+// onlineBenchIters is the per-op step budget of the online benches.
+const onlineBenchIters = 512
+
+// onlineBenchSnapshot meta-trains one shared snapshot for the online benches.
+func onlineBenchSnapshot(b *testing.B) *nn.Snapshot {
+	b.Helper()
+	onlineBenchOnce.Do(func() {
+		meta := env.IndoorMeta(1001)
+		onlineBenchSnap, _ = transfer.MetaTrain(meta, nn.NavNetSpec(), 200,
+			rl.Options{Seed: 1001, BatchSize: 4, EpsDecaySteps: 100})
+	})
+	return onlineBenchSnap
+}
+
+var (
+	onlineBenchOnce sync.Once
+	onlineBenchSnap *nn.Snapshot
+)
+
+func onlineBenchOpts(actors int) rl.Options {
+	return rl.Options{
+		Seed: 1002, BatchSize: 4, EpsStart: 0.5,
+		EpsDecaySteps: onlineBenchIters / 2, LR: 0.001, Actors: actors,
+	}
+}
+
+// BenchmarkOnlineLearningSerial is the "before" baseline: the synchronous
+// act→store→train loop (transfer.RunOnlineSerial's schedule).
+func BenchmarkOnlineLearningSerial(b *testing.B) {
+	snap := onlineBenchSnapshot(b)
+	spec := nn.NavNetSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		agent, err := transfer.Deploy(snap, spec, nn.L3, onlineBenchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := env.IndoorApartment(1003)
+		w.Seed(1004)
+		w.Spawn()
+		trainer := rl.NewTrainer(w, agent, onlineBenchIters)
+		b.StartTimer()
+		trainer.Run(onlineBenchIters)
+	}
+	b.ReportMetric(float64(onlineBenchIters*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// benchmarkOnlineLearningActors measures the async pipeline at a given
+// fleet size on the serial benchmark's exact workload.
+func benchmarkOnlineLearningActors(b *testing.B, actors int) {
+	snap := onlineBenchSnapshot(b)
+	spec := nn.NavNetSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		agent, err := transfer.Deploy(snap, spec, nn.L3, onlineBenchOpts(actors))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := env.IndoorApartment(1003)
+		w.Seed(1004)
+		w.Spawn()
+		loop, _ := transfer.BuildOnlineLoop(agent, w, spec, nn.L3, onlineBenchIters, 1004)
+		b.StartTimer()
+		if _, err := loop.Run(context.Background(), onlineBenchIters); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(onlineBenchIters*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkOnlineLearningActors4 runs the pipeline with a 4-actor fleet.
+func BenchmarkOnlineLearningActors4(b *testing.B) { benchmarkOnlineLearningActors(b, 4) }
+
+// BenchmarkOnlineLearningActors8 runs the pipeline with an 8-actor fleet.
+func BenchmarkOnlineLearningActors8(b *testing.B) { benchmarkOnlineLearningActors(b, 8) }

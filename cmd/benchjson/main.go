@@ -135,8 +135,11 @@ func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegres
 	fmt.Fprintf(os.Stderr, "benchjson: gating %q against %s (max +%.0f%%)\n",
 		gatePattern, baselinePath, maxRegressPct)
 	ok := true
+	regressed := false
 	gated := 0
+	fresh := make(map[string]bool, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
+		fresh[b.Name] = true
 		if !gateRE.MatchString(b.Name) {
 			continue
 		}
@@ -154,15 +157,35 @@ func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegres
 		if delta > maxRegressPct {
 			verdict = "FAIL"
 			ok = false
+			regressed = true
 		}
 		fmt.Fprintf(os.Stderr, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			verdict, b.Name, old, b.NsPerOp, delta)
+	}
+	// A gated baseline entry that vanished from the fresh run means the gate
+	// is no longer checking it — a renamed or deleted benchmark would
+	// otherwise silently shrink the gate's coverage. Fail with the missing
+	// names rather than letting a zero-value comparison (or no comparison at
+	// all) pass.
+	missing := 0
+	for _, b := range base.Benchmarks {
+		if gateRE.MatchString(b.Name) && !fresh[b.Name] {
+			fmt.Fprintf(os.Stderr, "  MISS  %-40s gated in the baseline but absent from this run\n", b.Name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) missing from the fresh run — "+
+			"if the benchmark was renamed, update the baseline (%s) to match\n", missing, baselinePath)
+		ok = false
 	}
 	if gated == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark on stdin matches the gate pattern")
 		return false
 	}
-	if !ok {
+	// Independent failure modes get independent summaries: a run can both
+	// regress a benchmark and lose one.
+	if regressed {
 		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION — a gated benchmark slowed down by more than %.0f%%\n", maxRegressPct)
 	}
 	return ok

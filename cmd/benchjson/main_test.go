@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+	}})
+	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1100}}}
+	if !gateAgainstBaseline(rep, base, "TrainStep", 15) {
+		t.Error("a +10% drift inside a 15% budget must pass the gate")
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+	}})
+	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1300}}}
+	if gateAgainstBaseline(rep, base, "TrainStep", 15) {
+		t.Error("a +30% regression must fail a 15% gate")
+	}
+}
+
+// TestGateFailsOnMissingGatedBenchmark pins the fixed failure mode: a gated
+// benchmark present in the baseline but absent from the fresh run (renamed
+// or deleted) must fail the gate with an explicit message, not silently
+// shrink the gate's coverage.
+func TestGateFailsOnMissingGatedBenchmark(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+		{Name: "ConvForwardBatchGEMM", NsPerOp: 2000},
+	}})
+	rep := Report{Benchmarks: []Bench{
+		// ConvForwardBatchGEMM is gone from the fresh run.
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+	}}
+	if gateAgainstBaseline(rep, base, "ConvForward|TrainStep", 15) {
+		t.Error("a gated benchmark missing from the fresh run must fail the gate")
+	}
+}
+
+func TestGateNewBenchmarkDoesNotFail(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+	}})
+	rep := Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+		{Name: "TrainStepTail", NsPerOp: 123}, // new coverage, no baseline entry
+	}}
+	if !gateAgainstBaseline(rep, base, "TrainStep", 15) {
+		t.Error("new benchmarks without baseline entries are not regressions")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkTrainStepBatched-8   15   4586154 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "TrainStepBatched" || b.Iterations != 15 || b.NsPerOp != 4586154 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("memory columns parsed wrong: %+v", b)
+	}
+	if _, ok := parseBenchLine("not a benchmark line"); ok {
+		t.Error("junk parsed as a benchmark")
+	}
+}

@@ -57,11 +57,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	backend := flag.String("backend", "", "inference backend for the greedy evaluation: "+
 		strings.Join(nn.BackendNames(), ", ")+" (default: the direct float path)")
+	actors := flag.Int("actors", 1, "concurrent actors for the online-learning phase "+
+		"(1 = the deterministic serial schedule)")
 	showMap := flag.Bool("map", false, "print the environment map")
 	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	saveModel := flag.String("save", "", "write the meta-model snapshot to this file after meta-training")
 	loadModel := flag.String("load", "", "skip meta-training and load a snapshot from this file")
 	flag.Parse()
+
+	// Validate name-shaped flags before any training runs, so a typo fails
+	// in milliseconds instead of after minutes of meta-training.
+	if *backend != "" && !nn.HasBackend(*backend) {
+		fmt.Fprintf(os.Stderr, "unknown backend %q: registered backends are %s\n",
+			*backend, strings.Join(nn.BackendNames(), ", "))
+		os.Exit(2)
+	}
+	if *actors < 1 {
+		fmt.Fprintf(os.Stderr, "-actors %d: need at least one actor\n", *actors)
+		os.Exit(2)
+	}
 
 	if *list {
 		t := report.New("scenario catalog", "name", "kind", "description")
@@ -130,13 +144,20 @@ func main() {
 	opts := rl.Options{
 		Seed: *seed + 1, BatchSize: 4, EpsStart: 0.5, EpsDecaySteps: *onlineIters / 2,
 	}
+	var extra []rl.Option
 	if *backend != "" {
-		withBackend, err := rl.NewOptions(rl.WithEvalBackend(*backend))
+		extra = append(extra, rl.WithEvalBackend(*backend))
+	}
+	if *actors > 1 {
+		extra = append(extra, rl.WithActors(*actors))
+	}
+	if len(extra) > 0 {
+		withExtra, err := rl.NewOptions(extra...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		opts = opts.Merge(withBackend)
+		opts = opts.Merge(withExtra)
 	}
 	res, err := transfer.RunOnline(snap, world, spec, cfg, *onlineIters, *evalSteps, opts)
 	if err != nil {
@@ -150,6 +171,11 @@ func main() {
 	t.Add("return", report.Num(res.Training.Return()))
 	t.Add("return curve", report.Sparkline(res.Training.ReturnSeries(), 48))
 	t.Add("training crashes", fmt.Sprint(res.Training.Crashes()))
+	if res.Actors > 1 {
+		t.Add("actors", fmt.Sprint(res.Actors))
+		t.Add("policy publishes", fmt.Sprint(res.Publishes))
+		t.Add("publish energy (mJ)", report.Num(res.PublishMJ))
+	}
 	t.Add("eval SFD (m)", report.Num(res.Eval.SafeFlightDistance()))
 	t.Add("eval crashes", fmt.Sprint(res.Eval.Crashes()))
 	if res.Backend != "" {

@@ -48,6 +48,9 @@ type Event struct {
 	EnergyMJ  float64
 	LatencyMS float64
 	Cycles    int64
+	// Publishes counts the policy snapshots the learner published during
+	// an online run; nonzero only for multi-actor online phases.
+	Publishes int
 }
 
 // String renders a compact single-line progress message.
@@ -64,6 +67,9 @@ func (e Event) String() string {
 	}
 	if e.EnergyMJ > 0 {
 		s += fmt.Sprintf(" %.3f mJ / %.3f ms", e.EnergyMJ, e.LatencyMS)
+	}
+	if e.Publishes > 0 {
+		s += fmt.Sprintf(" (%d policy publishes)", e.Publishes)
 	}
 	return s
 }

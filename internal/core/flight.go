@@ -274,8 +274,20 @@ func (e *FlightExperiment) Phases() []Phase {
 			}
 			w.Seed(scale.Seed + int64(31*r+i))
 			w.Spawn()
-			trainer := rl.NewTrainer(w, agent, scale.OnlineIters)
-			training := trainer.Run(scale.OnlineIters)
+			// The online phase runs through the actor/learner pipeline,
+			// under the engine's cancellation context. With the default
+			// single actor this is the deterministic serial schedule,
+			// bit-identical to the historical trainer loop; with
+			// rl.WithActors(n) the run fans out over n cloned worlds, and
+			// every policy publish charges its snapshot write to the run's
+			// energy ledger.
+			loop, publishLedger := transfer.BuildOnlineLoop(agent, w, spec, cfg,
+				scale.OnlineIters, scale.Seed+int64(31*r+i)+7700)
+			stats, err := loop.Run(rc.Context(), scale.OnlineIters)
+			if err != nil {
+				return fmt.Errorf("core: %s under %v: %w", w.Name, cfg, err)
+			}
+			training := loop.Tracker
 			// Hand off to the greedy evaluation phase: from here on the
 			// trained policy runs on the selected inference backend (the
 			// deployment substrate), not necessarily the float trainer.
@@ -296,10 +308,24 @@ func (e *FlightExperiment) Phases() []Phase {
 				e.cells[idx].Backend = b.Name()
 				e.ledgers[idx] = backendLedger(b)
 			}
+			if publishLedger != nil {
+				if e.ledgers[idx] == nil {
+					e.ledgers[idx] = publishLedger
+				} else {
+					// Keep the backend's private ledger intact (its
+					// breakdown cross-checks depend on it) and merge both
+					// into a fresh per-run ledger.
+					merged := mem.NewLedger()
+					merged.Merge(e.ledgers[idx])
+					merged.Merge(publishLedger)
+					e.ledgers[idx] = merged
+				}
+			}
 			rc.Emit(Event{
 				Env: w.Name, Config: cfg, Run: idx,
 				Iteration: scale.OnlineIters,
 				Reward:    training.CumulativeReward(),
+				Publishes: stats.Publishes,
 			})
 			rc.Emit(Event{
 				Phase: "evaluate",

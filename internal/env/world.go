@@ -169,6 +169,18 @@ type StepResult struct {
 // seed and action sequence.
 func (w *World) Seed(seed int64) { w.rng = rand.New(rand.NewSource(seed)) }
 
+// Clone returns an independent copy of the world for another drone to fly
+// in: the mutable flight state (pose, rng, distance counter) is private to
+// the copy while the immutable scene — bounds, obstacles, camera, stereo
+// model — is shared, so cloning is cheap and concurrent clones may ray-cast
+// the same scene safely. The clone starts with no RNG; Seed and Spawn it
+// before flying.
+func (w *World) Clone() *World {
+	c := *w
+	c.rng = nil
+	return &c
+}
+
 // ensureRNG lazily provides a deterministic default RNG.
 func (w *World) ensureRNG() *rand.Rand {
 	if w.rng == nil {

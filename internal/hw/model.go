@@ -303,6 +303,42 @@ func (m *Model) TrainedLayerNames(cfg nn.Config) []string {
 	return names
 }
 
+// PublishTraffic is one device's share of a policy-snapshot publish.
+type PublishTraffic struct {
+	Device *mem.Device
+	Bits   int64
+}
+
+// SnapshotPublishTraffic prices one policy publish of the actor/learner
+// online-learning pipeline under cfg: the learner writes the snapshot of the
+// trainable weights into the double-buffered policy store the actors adopt
+// from, each layer's share charged to the device its weights reside in.
+// Under the transfer topologies every trained FC layer is SRAM-resident, so
+// a publish is cheap on-die buffer traffic; under E2E the conv and early FC
+// layers live in the STT-MRAM stack and pay the Table 1 NVM write while the
+// buffer-resident FC tail stays at SRAM prices — the per-layer split of
+// Fig. 5, not a flat worst-case charge. Callers record one Write per entry
+// to their ledger per publish.
+func (m *Model) SnapshotPublishTraffic(cfg nn.Config) []PublishTraffic {
+	var mramBits, sramBits int64
+	for _, name := range m.TrainedLayerNames(cfg) {
+		bits := m.layerWeightWords(name) * m.wordBits()
+		if m.LayerInMRAM(name, cfg) {
+			mramBits += bits
+		} else {
+			sramBits += bits
+		}
+	}
+	var out []PublishTraffic
+	if mramBits > 0 {
+		out = append(out, PublishTraffic{Device: m.MRAM, Bits: mramBits})
+	}
+	if sramBits > 0 {
+		out = append(out, PublishTraffic{Device: m.SRAM, Bits: sramBits})
+	}
+	return out
+}
+
 // String summarizes the model.
 func (m *Model) String() string {
 	return fmt.Sprintf("hw.Model{%s on %dx%d PEs, MRAM %s}",

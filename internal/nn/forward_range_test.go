@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/tensor"
+)
+
+// TestForwardRangeSplitMatchesForward pins the identity the actor/learner
+// pipeline rests on: splitting a forward pass at the training boundary —
+// frozen prefix, then trainable tail — is bit-identical to the unsplit pass,
+// for the single-sample and the batched path, and batched rows equal the
+// single-sample results.
+func TestForwardRangeSplitMatchesForward(t *testing.T) {
+	spec := NavNetSpec()
+	rng := rand.New(rand.NewSource(77))
+	for _, cfg := range []Config{L2, L3, L4} {
+		net := spec.Build()
+		net.Init(rand.New(rand.NewSource(7)))
+		net.SetConfig(cfg)
+		b := net.TrainFrom()
+		if b <= 0 {
+			t.Fatalf("%v has no frozen prefix", cfg)
+		}
+		last := len(net.Layers)
+
+		const batch = 5
+		obs := make([]*tensor.Tensor, batch)
+		for i := range obs {
+			obs[i] = tensor.New(1, NavNetInput, NavNetInput)
+			obs[i].RandN(rng, 1)
+		}
+
+		// Reference: plain single-sample Forward per observation.
+		want := make([][]float32, batch)
+		for i, o := range obs {
+			want[i] = append([]float32(nil), net.Forward(o.Clone()).Data()...)
+		}
+
+		// Split single-sample pass.
+		for i, o := range obs {
+			feat := net.ForwardRange(0, b, o.Clone())
+			got := net.ForwardRange(b, last, feat).Data()
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("%v: split single pass diverges at sample %d output %d", cfg, i, j)
+				}
+			}
+		}
+
+		// Split batched pass: batched prefix rows feed the batched tail.
+		stacked := tensor.New(batch, 1, NavNetInput, NavNetInput)
+		n := obs[0].Len()
+		for i, o := range obs {
+			copy(stacked.Data()[i*n:(i+1)*n], o.Data())
+		}
+		feats := net.ForwardBatchRange(0, b, stacked)
+		out := net.ForwardBatchRange(b, last, feats).Data()
+		actions := len(want[0])
+		for i := range obs {
+			for j := 0; j < actions; j++ {
+				if out[i*actions+j] != want[i][j] {
+					t.Fatalf("%v: split batched pass diverges at row %d output %d", cfg, i, j)
+				}
+			}
+		}
+	}
+}

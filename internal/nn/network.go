@@ -111,6 +111,30 @@ func (n *Network) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// ForwardRange runs one sample through the layers [from, to) only. Splitting
+// a Forward call into ForwardRange(0, b, x) followed by ForwardRange(b, L, ·)
+// executes exactly the same layer sequence, so the composition is bit-identical
+// to the unsplit pass. The actor/learner pipeline uses the split to cache the
+// frozen prefix's boundary activation — the activation entering the first
+// trainable layer — and re-run only the trainable tail.
+func (n *Network) ForwardRange(from, to int, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers[from:to] {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// ForwardBatchRange is the batched counterpart of ForwardRange: it runs B
+// stacked samples through layers [from, to) with one GEMM per layer. Like
+// ForwardBatch, the returned tensor is a layer-owned workspace, and per-sample
+// rows are bit-identical to the single-sample path.
+func (n *Network) ForwardBatchRange(from, to int, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers[from:to] {
+		x = n.batchLayer(l).ForwardBatch(x)
+	}
+	return x
+}
+
 // BackwardBatch accumulates parameter gradients for a whole batch, given the
 // (B, out) gradient of the loss w.r.t. the batched network output. It must
 // follow a ForwardBatch call on the same batch, and accumulates exactly what

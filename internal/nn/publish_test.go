@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func buildTestNets(t *testing.T, cfg Config) (*Network, *Network) {
+	t.Helper()
+	spec := NavNetSpec()
+	pub := spec.Build()
+	pub.Init(rand.New(rand.NewSource(1)))
+	pub.SetConfig(cfg)
+	sub := spec.Build()
+	sub.Init(rand.New(rand.NewSource(2)))
+	sub.SetConfig(cfg)
+	return pub, sub
+}
+
+// TestPolicyBoardPublishAdopt: a published policy lands in the subscriber's
+// trainable parameters exactly, versions gate re-adoption, and frozen layers
+// are untouched.
+func TestPolicyBoardPublishAdopt(t *testing.T) {
+	pub, sub := buildTestNets(t, L3)
+	frozenBefore := append([]float32(nil), sub.Params()[0].W.Data()...)
+
+	b := NewPolicyBoard()
+	if b.Version() != 0 {
+		t.Fatal("fresh board has a version")
+	}
+	if _, changed, err := b.Adopt(sub, 0); err != nil || changed {
+		t.Fatal("adopting from an empty board must be a no-op")
+	}
+	v := b.Publish(pub, "NavNet")
+	if v != 1 || b.Version() != 1 {
+		t.Fatalf("first publish has version %d", v)
+	}
+	got, changed, err := b.Adopt(sub, 0)
+	if err != nil || !changed || got != 1 {
+		t.Fatalf("adopt = (%d, %v, %v)", got, changed, err)
+	}
+	pp, sp := pub.TrainableParams(), sub.TrainableParams()
+	for i := range pp {
+		if !pp[i].W.Equal(sp[i].W) {
+			t.Errorf("trainable param %s not adopted", pp[i].Name)
+		}
+	}
+	for i, x := range sub.Params()[0].W.Data() {
+		if x != frozenBefore[i] {
+			t.Fatal("adoption touched a frozen parameter")
+		}
+	}
+	// Same version again: no copy.
+	if _, changed, _ := b.Adopt(sub, got); changed {
+		t.Error("re-adopting the same version must be a no-op")
+	}
+	// A second publish bumps the version and swaps buffers.
+	pub.TrainableParams()[0].W.Data()[0] += 1
+	if v := b.Publish(pub, "NavNet"); v != 2 {
+		t.Fatalf("second publish has version %d", v)
+	}
+	if got, changed, _ := b.Adopt(sub, 1); !changed || got != 2 {
+		t.Fatalf("adopt after second publish = (%d, %v)", got, changed)
+	}
+	if sub.TrainableParams()[0].W.Data()[0] != pub.TrainableParams()[0].W.Data()[0] {
+		t.Error("second publish not adopted")
+	}
+}
+
+// TestPolicyBoardMismatch: adopting into a network with a different
+// trainable topology fails loudly instead of corrupting weights.
+func TestPolicyBoardMismatch(t *testing.T) {
+	pub, _ := buildTestNets(t, L3)
+	_, sub := buildTestNets(t, L2)
+	b := NewPolicyBoard()
+	b.Publish(pub, "NavNet")
+	if _, _, err := b.Adopt(sub, 0); err == nil {
+		t.Fatal("adopting an L3 policy into an L2 network must fail")
+	}
+}
+
+// TestPolicyBoardConcurrent hammers the board from one publisher and several
+// adopters; under -race this exercises the double-buffered seqlock path. The
+// invariant: every adopted weight set is one published set, never a torn mix
+// — checked by publishing constant-valued snapshots and verifying each
+// adopted set is constant.
+func TestPolicyBoardConcurrent(t *testing.T) {
+	pub, _ := buildTestNets(t, L3)
+	b := NewPolicyBoard()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range pub.TrainableParams() {
+				d := p.W.Data()
+				for i := range d {
+					d[i] = float32(round)
+				}
+			}
+			b.Publish(pub, "NavNet")
+		}
+	}()
+	var adopters sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		adopters.Add(1)
+		go func(w int) {
+			defer adopters.Done()
+			_, sub := buildTestNets(t, L3)
+			var last uint64
+			for k := 0; k < 200; k++ {
+				v, changed, err := b.Adopt(sub, last)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				last = v
+				if !changed {
+					continue
+				}
+				var val float32
+				first := true
+				for _, p := range sub.TrainableParams() {
+					for _, x := range p.W.Data() {
+						if first {
+							val, first = x, false
+						} else if x != val {
+							t.Error("adopted a torn policy (mixed publish rounds)")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	adopters.Wait()
+	close(stop)
+	wg.Wait()
+}

@@ -43,6 +43,19 @@ type Options struct {
 	// energy accounting), resolved through the nn backend registry. Empty —
 	// the default — keeps the historical direct float path.
 	EvalBackend string
+	// Actors is the number of concurrent actors the online-learning
+	// pipeline runs (default 1, the deterministic serial schedule that
+	// reproduces the historical loop bit for bit). With more than one
+	// actor, online learning becomes the asynchronous actor/learner
+	// pipeline: actors step private environment copies and feed per-actor
+	// replay shards while the learner trains concurrently and publishes
+	// policy snapshots.
+	Actors int
+	// SyncEvery is the learner's policy-publish interval in training steps
+	// (default 8): every SyncEvery weight updates the learner publishes a
+	// snapshot of the trainable weights, which actors adopt at their next
+	// episode boundary. It has no effect with a single actor.
+	SyncEvery int
 	// Seed fixes the agent's private RNG.
 	Seed int64
 
@@ -82,9 +95,28 @@ func (o *Options) setDefaults() {
 	if o.GradClip == 0 && !o.isSet(fieldGradClip) {
 		o.GradClip = 1
 	}
+	if o.Actors == 0 && !o.isSet(fieldActors) {
+		o.Actors = 1
+	}
+	if o.SyncEvery == 0 && !o.isSet(fieldSyncEvery) {
+		o.SyncEvery = 8
+	}
 	if o.Seed == 0 && !o.isSet(fieldSeed) {
 		o.Seed = 1
 	}
+}
+
+// EpsilonAt returns the linear exploration schedule's value after n
+// environment steps. The schedule is a pure function of the shared clock, so
+// it is well-defined no matter how many actors advance the clock
+// concurrently; with one actor it reproduces the historical per-agent
+// counter exactly.
+func (o Options) EpsilonAt(n int64) float64 {
+	if n >= int64(o.EpsDecaySteps) {
+		return o.EpsEnd
+	}
+	frac := float64(n) / float64(o.EpsDecaySteps)
+	return o.EpsStart + (o.EpsEnd-o.EpsStart)*frac
 }
 
 // Agent is a deep Q-learning agent over a discrete action space.
@@ -94,14 +126,21 @@ type Agent struct {
 	// Target is the frozen bootstrap network (nil when disabled).
 	Target *nn.Network
 
-	opts       Options
-	spec       nn.ArchSpec
-	cfg        nn.Config
-	actions    int
-	rng        *rand.Rand
-	replay     *ReplayBuffer
-	envSteps   int
-	trainSteps int
+	opts    Options
+	spec    nn.ArchSpec
+	cfg     nn.Config
+	actions int
+	rng     *rand.Rand
+	replay  *ReplayBuffer
+	// src, when set, replaces the private replay buffer as TrainStep's
+	// sampling source (the async pipeline installs its ReplayShards here).
+	src ReplaySource
+	// clock is the shared monotonic time base driving the epsilon schedule
+	// and target-network sync; private by default, shared with the actors
+	// by the async pipeline.
+	clock *Clock
+	// policyVersion is the last PolicyBoard version adopted (AdoptPolicy).
+	policyVersion uint64
 
 	// evalBackend, once activated, serves Greedy instead of the direct
 	// float forward pass (see ActivateEvalBackend).
@@ -113,6 +152,10 @@ type Agent struct {
 	batch   []Transition
 	bArena  tensor.Arena
 	targets []float64
+	// Tail-path cache-miss queues: observations lacking cached boundary
+	// features and the feature rows they fill (see trainStepTail).
+	missObs []*tensor.Tensor
+	missDst [][]float32
 }
 
 // Arena slots of the agent's batched training workspace.
@@ -120,6 +163,9 @@ const (
 	agentSlotStates = iota
 	agentSlotNexts
 	agentSlotGrad
+	// agentSlotMissing stacks the observations whose boundary features
+	// were not cached, for the tail path's batched prefix recompute.
+	agentSlotMissing
 )
 
 // NewAgent builds an agent for the given architecture and training
@@ -139,6 +185,7 @@ func NewAgent(spec nn.ArchSpec, cfg nn.Config, opts Options) *Agent {
 		actions: spec.FCs[len(spec.FCs)-1].Out,
 		rng:     rng,
 		replay:  NewReplayBuffer(opts.ReplayCapacity),
+		clock:   NewClock(),
 	}
 	if opts.TargetSync > 0 {
 		a.Target = spec.Build()
@@ -166,24 +213,63 @@ func (a *Agent) syncTarget() {
 	}
 }
 
-// Epsilon returns the current exploration rate under the linear schedule.
+// Epsilon returns the current exploration rate under the linear schedule,
+// read from the shared clock.
 func (a *Agent) Epsilon() float64 {
-	o := a.opts
-	if a.envSteps >= o.EpsDecaySteps {
-		return o.EpsEnd
-	}
-	frac := float64(a.envSteps) / float64(o.EpsDecaySteps)
-	return o.EpsStart + (o.EpsEnd-o.EpsStart)*frac
+	return a.opts.EpsilonAt(a.clock.EnvSteps())
 }
 
 // SelectAction picks an epsilon-greedy action for the observation and
-// advances the exploration schedule.
+// advances the exploration schedule (the shared clock's env-step counter).
 func (a *Agent) SelectAction(obs *tensor.Tensor) int {
-	a.envSteps++
-	if a.rng.Float64() < a.Epsilon() {
+	t := a.clock.TickEnv()
+	if a.rng.Float64() < a.opts.EpsilonAt(t) {
 		return a.rng.Intn(a.actions)
 	}
 	return a.Greedy(obs)
+}
+
+// Clock exposes the agent's monotonic clock. The async pipeline shares it
+// with every actor so the epsilon schedule and target-sync cadence are
+// functions of global progress rather than per-goroutine counters.
+func (a *Agent) Clock() *Clock { return a.clock }
+
+// SetReplaySource replaces TrainStep's sampling source; nil restores the
+// agent's private replay buffer. The async pipeline installs its sharded
+// store here so the learner samples what the actors collected.
+func (a *Agent) SetReplaySource(s ReplaySource) { a.src = s }
+
+// source returns the active sampling source.
+func (a *Agent) source() ReplaySource {
+	if a.src != nil {
+		return a.src
+	}
+	return a.replay
+}
+
+// AdoptPolicy installs the latest policy published on board into the
+// agent's online network when it is newer than the last adopted version,
+// reporting whether anything changed. When an evaluation backend is active
+// it is rebuilt over the fresh weights: the backend captured the weights as
+// they were at activation (the quant backend compiled them, the systolic
+// backend placed them into the modeled memory hierarchy), so a policy swap
+// hands off to a backend built over the new ones. This is the
+// deployment-side counterpart of the pipeline's in-fleet adoption — a
+// deployed drone refreshing its compiled policy between missions; see
+// examples/policy_refresh.
+func (a *Agent) AdoptPolicy(board *nn.PolicyBoard) (bool, error) {
+	v, changed, err := board.Adopt(a.Net, a.policyVersion)
+	if err != nil {
+		return false, err
+	}
+	a.policyVersion = v
+	if changed && a.evalBackend != nil {
+		a.evalBackend = nil
+		if err := a.ActivateEvalBackend(); err != nil {
+			return true, err
+		}
+	}
+	return changed, nil
 }
 
 // Greedy returns argmax_a Q(obs, a) without exploration. With an activated
@@ -236,11 +322,12 @@ func (a *Agent) QValues(obs *tensor.Tensor) []float32 {
 	return append([]float32(nil), q.Data()...)
 }
 
-// Observe stores a transition in the replay buffer.
+// Observe stores a transition in the agent's private replay buffer. The
+// async pipeline bypasses it — actors push straight into their own shard.
 func (a *Agent) Observe(t Transition) { a.replay.Push(t) }
 
-// ReplayLen returns the number of buffered transitions.
-func (a *Agent) ReplayLen() int { return a.replay.Len() }
+// ReplayLen returns the number of transitions in the active sampling source.
+func (a *Agent) ReplayLen() int { return a.source().Len() }
 
 // TrainStep runs one training iteration on the batched path: the N sampled
 // transitions are stacked into batch tensors and pushed through one batched
@@ -255,10 +342,20 @@ func (a *Agent) ReplayLen() int { return a.replay.Len() }
 // shorter than the batch.
 func (a *Agent) TrainStep() float64 {
 	o := a.opts
-	if a.replay.Len() < o.BatchSize {
+	if a.source().Len() < o.BatchSize {
 		return -1
 	}
-	a.batch = a.replay.SampleInto(a.batch[:0], o.BatchSize, a.rng)
+	a.batch = a.source().SampleInto(a.batch[:0], o.BatchSize, a.rng)
+	// Frozen-prefix fast path: under a transfer topology the layers below
+	// the training boundary never change, so the batch can enter the
+	// network at the boundary from cached (or lazily recomputed) features
+	// and only the trainable FC tail runs. Bit-identical to the full pass —
+	// the boundary rows are the same values the full pass would compute.
+	if boundary := a.Net.TrainFrom(); boundary > 0 {
+		if d, ok := a.Net.Layers[boundary].(*nn.Dense); ok {
+			return a.trainStepTail(boundary, d.In)
+		}
+	}
 	b := o.BatchSize
 	// Stack observations into (B, C, H, W) views of the agent's workspace;
 	// the per-sample copies replace the serial path's defensive Clones.
@@ -328,7 +425,120 @@ func (a *Agent) TrainStep() float64 {
 	}
 	// One batched online pass and one batched backward.
 	q := a.Net.ForwardBatch(states).Data()
-	grad := a.bArena.Get(agentSlotGrad, b, a.actions)
+	return a.finishBatchedStep(q)
+}
+
+// trainStepTail is TrainStep's frozen-prefix path: the sampled batch enters
+// the network at the training boundary (layer index boundary, a Dense with
+// featDim inputs) from cached boundary features, and only the trainable tail
+// runs — forward over the bootstrap next-states, forward over the states,
+// one batched backward. Transitions without cached features (exploration
+// steps, or next-states sampled before the actor backfilled them) get their
+// features recomputed through the frozen prefix, so the result is
+// bit-identical to the full-network TrainStep on every input mix (asserted
+// by the batch equivalence tests).
+func (a *Agent) trainStepTail(boundary, featDim int) float64 {
+	o := a.opts
+	b := o.BatchSize
+	states := a.bArena.Get(agentSlotStates, b, featDim)
+	nexts := a.bArena.Get(agentSlotNexts, b, featDim)
+	// First pass: copy cached feature rows, queue the cache misses.
+	a.missObs, a.missDst = a.missObs[:0], a.missDst[:0]
+	gather := func(dst []float32, feat, obs *tensor.Tensor) {
+		if feat != nil {
+			if feat.Len() != featDim {
+				panic("rl: TrainStep boundary features have the wrong length")
+			}
+			copy(dst, feat.Data())
+			return
+		}
+		a.missObs = append(a.missObs, obs)
+		a.missDst = append(a.missDst, dst)
+	}
+	for i, tr := range a.batch {
+		gather(states.Data()[i*featDim:(i+1)*featDim], tr.Feat, tr.State)
+		dst := nexts.Data()[i*featDim : (i+1)*featDim]
+		switch {
+		case tr.Done:
+			// The bootstrap row of a finished episode is computed but
+			// ignored (the target is just the reward) — feed zeros, like
+			// the full path does for terminals stored without a Next.
+			for j := range dst {
+				dst[j] = 0
+			}
+		case tr.Next != nil || tr.NextFeat != nil:
+			gather(dst, tr.NextFeat, tr.Next)
+		default:
+			panic("rl: TrainStep transition has nil Next but Done is false")
+		}
+	}
+	// Second pass: recompute every missing row through the frozen prefix in
+	// one batched pass (bit-identical to the per-row pass and to the full
+	// path's stacked prefix, per the ForwardBatch row contract). Fully
+	// cached batches — the async pipeline's steady state — skip it.
+	if m := len(a.missObs); m > 0 {
+		sh := a.missObs[0].Shape()
+		if len(sh) != 3 {
+			panic("rl: TrainStep expects CHW observations")
+		}
+		stack := a.bArena.Get(agentSlotMissing, m, sh[0], sh[1], sh[2])
+		n := a.missObs[0].Len()
+		for i, obs := range a.missObs {
+			if obs.Len() != n {
+				panic("rl: TrainStep batch mixes observation shapes")
+			}
+			copy(stack.Data()[i*n:(i+1)*n], obs.Data())
+		}
+		feats := a.Net.ForwardBatchRange(0, boundary, stack)
+		if feats.Len() != m*featDim {
+			panic("rl: TrainStep boundary features have the wrong length")
+		}
+		for i, dst := range a.missDst {
+			copy(dst, feats.Data()[i*featDim:(i+1)*featDim])
+		}
+	}
+	bootstrap := a.Net
+	if a.Target != nil {
+		bootstrap = a.Target
+	}
+	if cap(a.targets) < b {
+		a.targets = make([]float64, b)
+	}
+	a.targets = a.targets[:b]
+	last := len(a.Net.Layers)
+	// The frozen prefix is shared by construction: the online network never
+	// updates it and target syncs copy it verbatim, so the boundary features
+	// are valid entry points into the online and target tails alike.
+	qn := bootstrap.ForwardBatchRange(boundary, last, nexts).Data()
+	if o.DoubleDQN && a.Target != nil {
+		qo := a.Net.ForwardBatchRange(boundary, last, nexts).Data()
+		for i := range a.targets {
+			sel := argmaxRow(qo[i*a.actions : (i+1)*a.actions])
+			a.targets[i] = o.Gamma * float64(qn[i*a.actions+sel])
+		}
+	} else {
+		for i := range a.targets {
+			row := qn[i*a.actions : (i+1)*a.actions]
+			a.targets[i] = o.Gamma * float64(row[argmaxRow(row)])
+		}
+	}
+	for i, tr := range a.batch {
+		if tr.Done {
+			a.targets[i] = tr.Reward
+		} else {
+			a.targets[i] += tr.Reward
+		}
+	}
+	q := a.Net.ForwardBatchRange(boundary, last, states).Data()
+	return a.finishBatchedStep(q)
+}
+
+// finishBatchedStep turns the batched Q-output into the TD gradient, runs
+// the batched backward and the weight update, and advances the train clock —
+// the shared tail of the full and frozen-prefix TrainStep paths.
+func (a *Agent) finishBatchedStep(q []float32) float64 {
+	o := a.opts
+	grad := a.bArena.Get(agentSlotGrad, o.BatchSize, a.actions)
 	grad.Zero()
 	gd := grad.Data()
 	var mse float64
@@ -342,8 +552,8 @@ func (a *Agent) TrainStep() float64 {
 		a.Net.ClipGrad(o.GradClip)
 	}
 	a.Net.Step(o.LR, o.BatchSize)
-	a.trainSteps++
-	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {
+	ts := a.clock.TickTrain()
+	if a.Target != nil && ts%int64(o.TargetSync) == 0 {
 		a.syncTarget()
 	}
 	return mse / float64(o.BatchSize)
@@ -369,10 +579,10 @@ func argmaxRow(row []float32) int {
 // gap. Serial and batched steps are interchangeable mid-training.
 func (a *Agent) TrainStepSerial() float64 {
 	o := a.opts
-	if a.replay.Len() < o.BatchSize {
+	if a.source().Len() < o.BatchSize {
 		return -1
 	}
-	batch := a.replay.Sample(o.BatchSize, a.rng)
+	batch := a.source().SampleInto(make([]Transition, 0, o.BatchSize), o.BatchSize, a.rng)
 	bootstrap := a.Net
 	if a.Target != nil {
 		bootstrap = a.Target
@@ -404,18 +614,25 @@ func (a *Agent) TrainStepSerial() float64 {
 		a.Net.ClipGrad(o.GradClip)
 	}
 	a.Net.Step(o.LR, o.BatchSize)
-	a.trainSteps++
-	if a.Target != nil && a.trainSteps%o.TargetSync == 0 {
+	ts := a.clock.TickTrain()
+	if a.Target != nil && ts%int64(o.TargetSync) == 0 {
 		a.syncTarget()
 	}
 	return mse / float64(o.BatchSize)
 }
 
 // TrainSteps returns the number of completed weight updates.
-func (a *Agent) TrainSteps() int { return a.trainSteps }
+func (a *Agent) TrainSteps() int { return int(a.clock.TrainSteps()) }
 
-// EnvSteps returns the number of actions selected so far.
-func (a *Agent) EnvSteps() int { return a.envSteps }
+// EnvSteps returns the number of actions selected so far (the shared
+// clock's env-step count — every actor's steps under the async pipeline).
+func (a *Agent) EnvSteps() int { return int(a.clock.EnvSteps()) }
 
 // BatchSize exposes the configured training batch.
 func (a *Agent) BatchSize() int { return a.opts.BatchSize }
+
+// Actors exposes the configured actor count of the online pipeline.
+func (a *Agent) Actors() int { return a.opts.Actors }
+
+// SyncEvery exposes the configured policy-publish interval in train steps.
+func (a *Agent) SyncEvery() int { return a.opts.SyncEvery }

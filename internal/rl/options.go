@@ -32,6 +32,8 @@ const (
 	fieldDoubleDQN
 	fieldSeed
 	fieldEvalBackend
+	fieldActors
+	fieldSyncEvery
 )
 
 // isSet reports whether a field was set through a functional option.
@@ -203,6 +205,37 @@ func WithEvalBackend(name string) Option {
 	}
 }
 
+// WithActors sets the number of concurrent actors of the online-learning
+// pipeline. 1 (the default) selects the deterministic serial schedule that
+// reproduces the historical loop bit for bit; higher counts run the
+// asynchronous actor/learner pipeline with per-actor environments and
+// replay shards.
+func WithActors(n int) Option {
+	return func(o *Options) error {
+		if n < 1 {
+			return fmt.Errorf("rl: actor count %d must be >= 1", n)
+		}
+		o.Actors = n
+		o.mark(fieldActors)
+		return nil
+	}
+}
+
+// WithSyncEvery sets the learner's policy-publish interval in training
+// steps (must be >= 1). Smaller intervals keep actors fresher at the cost
+// of more snapshot traffic — and, under E2E on the modeled hardware, more
+// NVM writes per published snapshot.
+func WithSyncEvery(steps int) Option {
+	return func(o *Options) error {
+		if steps < 1 {
+			return fmt.Errorf("rl: policy sync interval %d must be >= 1", steps)
+		}
+		o.SyncEvery = steps
+		o.mark(fieldSyncEvery)
+		return nil
+	}
+}
+
 // WithSeed fixes the agent's private RNG. An explicit 0 is a valid seed
 // (the struct-literal path historically replaced it with 1).
 func WithSeed(seed int64) Option {
@@ -257,6 +290,12 @@ func (o Options) Validate() error {
 		errs = append(errs, fmt.Errorf("rl: unknown evaluation backend %q (registered: %v)",
 			r.EvalBackend, nn.BackendNames()))
 	}
+	if r.Actors < 1 {
+		errs = append(errs, fmt.Errorf("rl: actor count %d must be >= 1", r.Actors))
+	}
+	if r.SyncEvery < 1 {
+		errs = append(errs, fmt.Errorf("rl: policy sync interval %d must be >= 1", r.SyncEvery))
+	}
 	return errors.Join(errs...)
 }
 
@@ -301,6 +340,12 @@ func (o Options) Merge(over Options) Options {
 	}
 	if over.isSet(fieldEvalBackend) {
 		out.EvalBackend = over.EvalBackend
+	}
+	if over.isSet(fieldActors) {
+		out.Actors = over.Actors
+	}
+	if over.isSet(fieldSyncEvery) {
+		out.SyncEvery = over.SyncEvery
 	}
 	out.explicit |= over.explicit
 	return out

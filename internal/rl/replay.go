@@ -19,6 +19,15 @@ type Transition struct {
 	Reward float64
 	Next   *tensor.Tensor
 	Done   bool
+
+	// Feat and NextFeat optionally cache the frozen-prefix boundary
+	// activations of State and Next — the activation entering the first
+	// trainable layer under a transfer topology. Actors fill them from the
+	// batched inference pass they run anyway, and the learner's TrainStep
+	// then re-runs only the trainable FC tail instead of the whole network.
+	// nil means "not computed"; the learner recomputes missing features
+	// itself, bit-identically, so the cache is purely an optimization.
+	Feat, NextFeat *tensor.Tensor
 }
 
 // ReplayBuffer is a fixed-capacity ring buffer of transitions with uniform

@@ -1,0 +1,223 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+// TestRunOnlineActorsOneMatchesSerial pins the deprecated serial wrapper to
+// the rebuilt pipeline: RunOnline with the default single actor and a fixed
+// seed must reproduce RunOnlineSerial bit for bit — training curves, crash
+// counts, evaluation flight — for a frozen topology and for E2E.
+func TestRunOnlineActorsOneMatchesSerial(t *testing.T) {
+	spec := nn.NavNetSpec()
+	meta := env.IndoorMeta(51)
+	snap, _ := MetaTrain(meta, spec, 40, fastOpts(51))
+	for _, cfg := range []nn.Config{nn.L3, nn.E2E} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			serialWorld := env.IndoorApartment(52)
+			serial, err := RunOnlineSerial(snap, serialWorld, spec, cfg, 160, 80, fastOpts(53))
+			if err != nil {
+				t.Fatal(err)
+			}
+			asyncWorld := env.IndoorApartment(52)
+			async, err := RunOnline(snap, asyncWorld, spec, cfg, 160, 80, fastOpts(53))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if async.Actors != 1 || async.Publishes != 0 || async.PublishMJ != 0 {
+				t.Errorf("single-actor run reports actors=%d publishes=%d energy=%v",
+					async.Actors, async.Publishes, async.PublishMJ)
+			}
+			cmp := func(label string, a, b []float64) {
+				t.Helper()
+				if len(a) != len(b) {
+					t.Fatalf("%s: lengths %d vs %d", label, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s diverges at %d: %v vs %v", label, i, a[i], b[i])
+					}
+				}
+			}
+			cmp("training reward", serial.Training.RewardSeries(), async.Training.RewardSeries())
+			cmp("training return", serial.Training.ReturnSeries(), async.Training.ReturnSeries())
+			cmp("eval reward", serial.Eval.RewardSeries(), async.Eval.RewardSeries())
+			if serial.Training.Crashes() != async.Training.Crashes() {
+				t.Errorf("training crashes: %d vs %d", serial.Training.Crashes(), async.Training.Crashes())
+			}
+			if serial.SFD() != async.SFD() {
+				t.Errorf("SFD: serial %v, async %v", serial.SFD(), async.SFD())
+			}
+		})
+	}
+}
+
+// TestRunOnlineAsyncActors runs the full transfer pipeline with a 4-actor
+// fleet: the run completes, the tracker covers the whole step budget,
+// policy snapshots are published, and the publish energy is charged to the
+// right device — SRAM for a frozen topology, STT-MRAM for E2E.
+func TestRunOnlineAsyncActors(t *testing.T) {
+	spec := nn.NavNetSpec()
+	meta := env.IndoorMeta(54)
+	snap, _ := MetaTrain(meta, spec, 40, fastOpts(54))
+
+	opts := fastOpts(55)
+	opts.Actors = 4
+	opts.SyncEvery = 4
+
+	for _, tc := range []struct {
+		cfg  nn.Config
+		devs []string
+	}{
+		// L3's trained FC tail is SRAM-resident, so publishes never touch
+		// the stack; E2E splits per layer — conv+FC1 pay the NVM write,
+		// the buffer-resident FC tail stays at SRAM prices.
+		{cfg: nn.L3, devs: []string{"SRAM"}},
+		{cfg: nn.E2E, devs: []string{"SRAM", "STT-MRAM"}},
+	} {
+		t.Run(tc.cfg.String(), func(t *testing.T) {
+			world := env.IndoorApartment(56)
+			res, err := RunOnline(snap, world, spec, tc.cfg, 240, 60, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Actors != 4 {
+				t.Errorf("actors = %d, want 4", res.Actors)
+			}
+			if res.Training.Steps() != 240 {
+				t.Errorf("training steps = %d, want 240", res.Training.Steps())
+			}
+			if res.Publishes == 0 {
+				t.Fatal("no policy publishes in a 4-actor run")
+			}
+			if res.PublishMJ <= 0 || res.PublishLedger == nil {
+				t.Fatal("publish energy not charged")
+			}
+			devs := res.PublishLedger.Devices()
+			if len(devs) != len(tc.devs) {
+				t.Fatalf("publish traffic charged to %v, want devices %v", devs, tc.devs)
+			}
+			for i, want := range tc.devs {
+				if !strings.Contains(devs[i], want) {
+					t.Errorf("publish traffic charged to %v, want devices %v", devs, tc.devs)
+				}
+				total := res.PublishLedger.Total(devs[i])
+				if total.WriteBits <= 0 || total.ReadBits != 0 {
+					t.Errorf("%s: publishes are pure writes, ledger says read %d / write %d bits",
+						devs[i], total.ReadBits, total.WriteBits)
+				}
+				if total.WriteBits%int64(res.Publishes) != 0 {
+					t.Errorf("%s: write bits %d not a multiple of %d publishes",
+						devs[i], total.WriteBits, res.Publishes)
+				}
+			}
+			if tc.cfg == nn.E2E {
+				// The stack carries conv+FC1 — the overwhelming share.
+				mram := res.PublishLedger.Total("STT-MRAM").WriteBits
+				sram := res.PublishLedger.Total("SRAM").WriteBits
+				if mram <= sram {
+					t.Errorf("E2E publish: MRAM %d bits <= SRAM %d bits, want MRAM-dominant", mram, sram)
+				}
+			}
+		})
+	}
+}
+
+// TestRunOnlineContextCancel: cancelling the context aborts the online phase
+// and reports context.Canceled.
+func TestRunOnlineContextCancel(t *testing.T) {
+	spec := nn.NavNetSpec()
+	meta := env.IndoorMeta(57)
+	snap, _ := MetaTrain(meta, spec, 30, fastOpts(57))
+	opts := fastOpts(58)
+	opts.Actors = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before it starts: the loop must notice immediately
+	world := env.IndoorApartment(58)
+	if _, err := RunOnlineContext(ctx, snap, world, spec, nn.L3, 10000, 10, opts); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// The three snapshot failure modes of the deployment path must each surface
+// a distinct, recognizable error: a corrupt gob stream, a snapshot from a
+// different serialization layout version, and a snapshot whose architecture
+// does not match the deployment spec.
+
+func encodeSnapshot(t *testing.T, s *nn.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadSnapshotCorruptGob(t *testing.T) {
+	spec := nn.NavNetSpec()
+	raw := encodeSnapshot(t, nn.TakeSnapshot(spec.Build(), spec.Name))
+	// Truncate mid-stream and flip a byte in what remains: undecodable.
+	corrupt := append([]byte(nil), raw[:len(raw)/2]...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	_, err := nn.ReadSnapshot(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("decoding a corrupt snapshot must fail")
+	}
+	if !strings.Contains(err.Error(), "decoding snapshot") {
+		t.Errorf("corrupt-gob error should say it failed decoding: %v", err)
+	}
+	if strings.Contains(err.Error(), "version") {
+		t.Errorf("corrupt-gob error must be distinct from the version error: %v", err)
+	}
+}
+
+func TestReadSnapshotWrongVersion(t *testing.T) {
+	spec := nn.NavNetSpec()
+	s := nn.TakeSnapshot(spec.Build(), spec.Name)
+	s.Version = nn.SnapshotVersion + 1
+	// Encode refuses to write a foreign version — that is itself part of the
+	// contract — so build the byte stream with the raw gob encoder.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nn.ReadSnapshot(&buf)
+	if err == nil {
+		t.Fatal("decoding a foreign-version snapshot must fail")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version error should name the version mismatch: %v", err)
+	}
+	if !strings.Contains(err.Error(), "retake the snapshot") {
+		t.Errorf("version error should tell the operator what to do: %v", err)
+	}
+}
+
+func TestDeployMismatchedArchSpec(t *testing.T) {
+	spec := nn.NavNetSpec()
+	// Same architecture name, different layer shapes: Restore must reject
+	// the size mismatch instead of silently truncating weights.
+	other := spec
+	other.FCs = append([]nn.FCSpec(nil), spec.FCs...)
+	other.FCs[1] = nn.FCSpec{Name: spec.FCs[1].Name, In: spec.FCs[1].In, Out: spec.FCs[1].Out * 2}
+	other.FCs[2] = nn.FCSpec{Name: spec.FCs[2].Name, In: spec.FCs[2].In * 2, Out: spec.FCs[2].Out}
+	snap := nn.TakeSnapshot(other.Build(), spec.Name)
+	_, err := Deploy(snap, spec, nn.L3, rl.Options{Seed: 1})
+	if err == nil {
+		t.Fatal("deploying a mis-shaped snapshot must fail")
+	}
+	if !strings.Contains(err.Error(), "values, want") {
+		t.Errorf("arch-mismatch error should name the size mismatch: %v", err)
+	}
+	if strings.Contains(err.Error(), "version") || strings.Contains(err.Error(), "decoding") {
+		t.Errorf("arch-mismatch error must be distinct from the gob and version errors: %v", err)
+	}
+}

@@ -12,9 +12,12 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 
 	"dronerl/internal/env"
+	"dronerl/internal/hw"
+	"dronerl/internal/mem"
 	"dronerl/internal/metrics"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
@@ -62,6 +65,18 @@ type Result struct {
 	// the direct float path) and EvalCost its accumulated hardware cost.
 	Backend  string
 	EvalCost nn.BackendCost
+	// Actors is the number of concurrent actors the online phase ran
+	// (1 = the deterministic serial schedule).
+	Actors int
+	// Publishes counts the learner's policy-snapshot publishes and
+	// PublishMJ their modeled memory-write energy: SRAM buffer traffic for
+	// the frozen-layer topologies, STT-MRAM writes under E2E. Both are zero
+	// for single-actor runs, which have no actor fleet to publish to.
+	Publishes int
+	PublishMJ float64
+	// PublishLedger itemizes the publish traffic per device (nil when no
+	// publish happened).
+	PublishLedger *mem.EnergyLedger
 }
 
 // SFD returns the run's evaluated safe flight distance.
@@ -73,11 +88,101 @@ func (r Result) SFD() float64 {
 }
 
 // RunOnline deploys the snapshot into a test world under cfg, trains online
-// for onlineIters and then evaluates greedily for evalSteps. When the
-// options select an evaluation backend it is activated at the training /
-// evaluation hand-off, so the greedy flight runs on the deployment
-// substrate while training stays on the float reference.
+// for onlineIters through the actor/learner pipeline and then evaluates
+// greedily for evalSteps. The actor count comes from the options
+// (rl.WithActors): 1 — the default — runs the deterministic serial schedule,
+// bit-identical to the historical loop (and to RunOnlineSerial); more actors
+// run concurrently on cloned worlds, with the learner publishing policy
+// snapshots whose memory-write energy is charged per publish
+// (hw.Model.SnapshotPublishTraffic). When the options select an evaluation
+// backend it is activated at the training / evaluation hand-off — after the
+// final policy state is in place — so the greedy flight runs on the
+// deployment substrate while training stays on the float reference.
 func RunOnline(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, cfg nn.Config,
+	onlineIters, evalSteps int, opts rl.Options) (Result, error) {
+	return RunOnlineContext(context.Background(), snapshot, test, spec, cfg, onlineIters, evalSteps, opts)
+}
+
+// BuildOnlineLoop assembles the actor/learner loop for one online-learning
+// run: actor 0 flies the caller's world as-is (which is what keeps the
+// single-actor path identical to the serial loop), extra actors fly clones
+// with private spawn streams seeded from cloneSeed, and for multi-actor runs
+// every policy publish charges its snapshot write — SRAM traffic for the
+// frozen-layer topologies, STT-MRAM writes under E2E
+// (hw.Model.SnapshotPublishTraffic) — to the returned compact ledger (nil
+// for single-actor runs). It is the one fleet constructor shared by
+// RunOnline, the core flight driver and the benchmarks.
+func BuildOnlineLoop(agent *rl.Agent, test *env.World, spec nn.ArchSpec, cfg nn.Config,
+	onlineIters int, cloneSeed int64) (*rl.OnlineLoop, *mem.EnergyLedger) {
+
+	actors := agent.Actors()
+	worlds := make([]*env.World, actors)
+	worlds[0] = test
+	for i := 1; i < actors; i++ {
+		w := test.Clone()
+		w.Seed(cloneSeed + 97*int64(i))
+		w.Spawn()
+		worlds[i] = w
+	}
+	loop := &rl.OnlineLoop{
+		Agent:   agent,
+		Worlds:  worlds,
+		Tracker: rl.TrackerFor(onlineIters),
+	}
+	var ledger *mem.EnergyLedger
+	if actors > 1 {
+		traffic := hw.NewModelFor(spec).SnapshotPublishTraffic(cfg)
+		ledger = mem.NewCompactLedger()
+		loop.OnPublish = func(uint64) {
+			for _, t := range traffic {
+				ledger.Record(t.Device, mem.Write, t.Bits)
+			}
+		}
+	}
+	return loop, ledger
+}
+
+// RunOnlineContext is RunOnline with cancellation: cancelling ctx stops the
+// actors and the learner within one environment step and reports ctx.Err().
+func RunOnlineContext(ctx context.Context, snapshot *nn.Snapshot, test *env.World,
+	spec nn.ArchSpec, cfg nn.Config, onlineIters, evalSteps int, opts rl.Options) (Result, error) {
+
+	agent, err := Deploy(snapshot, spec, cfg, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	loop, ledger := BuildOnlineLoop(agent, test, spec, cfg, onlineIters, opts.Seed+7700)
+	res := Result{Env: test.Name, Config: cfg, Actors: agent.Actors(), PublishLedger: ledger}
+	stats, err := loop.Run(ctx, onlineIters)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Training = loop.Tracker
+	res.Publishes = stats.Publishes
+	if res.PublishLedger != nil {
+		res.PublishMJ = res.PublishLedger.TotalEnergyPJ() / 1e9
+	}
+	if err := agent.ActivateEvalBackend(); err != nil {
+		return Result{}, err
+	}
+	eval := (&rl.Trainer{World: test, Agent: agent}).Evaluate(evalSteps)
+	res.Eval = eval
+	if b := agent.EvalBackend(); b != nil {
+		res.Backend = b.Name()
+		res.EvalCost = agent.EvalCost()
+	}
+	return res, nil
+}
+
+// RunOnlineSerial is the pre-pipeline implementation of RunOnline, kept
+// verbatim as the serial reference: one synchronous act→store→train loop on
+// the caller's world. The wrapper test pins RunOnline at actors=1 to this
+// path bit for bit.
+//
+// Deprecated: use RunOnline (or RunOnlineContext), which runs the
+// actor/learner pipeline and reproduces this function exactly when the
+// options leave the actor count at 1.
+func RunOnlineSerial(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, cfg nn.Config,
 	onlineIters, evalSteps int, opts rl.Options) (Result, error) {
 
 	agent, err := Deploy(snapshot, spec, cfg, opts)
@@ -90,7 +195,7 @@ func RunOnline(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, cfg nn.
 		return Result{}, err
 	}
 	eval := trainer.Evaluate(evalSteps)
-	res := Result{Env: test.Name, Config: cfg, Training: training, Eval: eval}
+	res := Result{Env: test.Name, Config: cfg, Training: training, Eval: eval, Actors: 1}
 	if b := agent.EvalBackend(); b != nil {
 		res.Backend = b.Name()
 		res.EvalCost = agent.EvalCost()
