@@ -20,6 +20,7 @@ import (
 	"dronerl/internal/mem"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
+	"dronerl/internal/serve"
 	"dronerl/internal/systolic"
 	"dronerl/internal/tensor"
 	"dronerl/internal/transfer"
@@ -657,3 +658,88 @@ func BenchmarkOnlineLearningActors4(b *testing.B) { benchmarkOnlineLearningActor
 
 // BenchmarkOnlineLearningActors8 runs the pipeline with an 8-actor fleet.
 func BenchmarkOnlineLearningActors8(b *testing.B) { benchmarkOnlineLearningActors(b, 8) }
+
+// Serving throughput: the policy-serving daemon's headline comparison.
+// Every sub-benchmark pushes the same request stream through the in-process
+// serving pipeline (admission queue → worker pool → backend) from
+// serveBenchClients concurrent clients; the variants differ only in whether
+// the workers may coalesce requests (MaxBatch 32, one batched GEMM pass per
+// batch) or must serve single-flight (MaxBatch 1, one forward per request).
+// Batched replies are bit-identical to single-flight ones (asserted in
+// internal/serve), so the delta is pure throughput. Acceptance target:
+// batched beats single-flight on the float backend at 8 clients.
+
+// serveBenchClients is the concurrency of the serving benchmarks.
+const serveBenchClients = 8
+
+func benchmarkServeQPS(b *testing.B, backend string, maxBatch int) {
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(61)))
+	s, err := serve.New(serve.Config{
+		Snapshot: nn.TakeSnapshot(net, spec.Name),
+		Backend:  backend,
+		Workers:  2,
+		MaxBatch: maxBatch,
+		// Greedy coalescing only: the clients are closed-loop, so holding a
+		// batch open for stragglers would just time out and bound QPS by
+		// the window instead of the math.
+		BatchWindow: -1,
+		QueueDepth:  4 * serveBenchClients,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	obs := make([][]float32, serveBenchClients)
+	rng := rand.New(rand.NewSource(62))
+	for c := range obs {
+		obs[c] = make([]float32, nn.NavNetInput*nn.NavNetInput)
+		for i := range obs[c] {
+			obs[c][i] = rng.Float32()
+		}
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < serveBenchClients; c++ {
+		n := b.N / serveBenchClients
+		if c < b.N%serveBenchClients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := s.Infer(context.Background(), obs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkServeQPSFloatSingleFlight serves one request per forward pass.
+func BenchmarkServeQPSFloatSingleFlight(b *testing.B) { benchmarkServeQPS(b, "float", 1) }
+
+// BenchmarkServeQPSFloatBatched coalesces up to 32 requests per pass.
+func BenchmarkServeQPSFloatBatched(b *testing.B) { benchmarkServeQPS(b, "float", 32) }
+
+// BenchmarkServeQPSQuantSingleFlight is the fixed-point engine single-flight.
+func BenchmarkServeQPSQuantSingleFlight(b *testing.B) { benchmarkServeQPS(b, "quant", 1) }
+
+// BenchmarkServeQPSQuantBatched coalesces on the fixed-point engine (per-item
+// execution inside the batch: the quant backend has no batched kernel, so the
+// gain is scheduling only).
+func BenchmarkServeQPSQuantBatched(b *testing.B) { benchmarkServeQPS(b, "quant", 32) }
+
+// BenchmarkServeQPSSystolicSingleFlight is the modeled accelerator single-flight.
+func BenchmarkServeQPSSystolicSingleFlight(b *testing.B) { benchmarkServeQPS(b, "systolic", 1) }
+
+// BenchmarkServeQPSSystolicBatched coalesces on the modeled accelerator.
+func BenchmarkServeQPSSystolicBatched(b *testing.B) { benchmarkServeQPS(b, "systolic", 32) }

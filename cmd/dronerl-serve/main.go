@@ -1,0 +1,112 @@
+// Command dronerl-serve runs the policy-serving daemon: an HTTP front door
+// that batches concurrent inference requests into single forward passes,
+// applies backpressure when the admission queue fills, and hot-reloads
+// POSTed policy snapshots with zero downtime.
+//
+// Usage:
+//
+//	dronerl-serve [-addr 127.0.0.1:8080] [-backend float|quant|systolic]
+//	              [-workers 2] [-maxbatch 32] [-window 2ms] [-queue 256]
+//	              [-model snapshot.gob] [-seed 1]
+//
+// With -model the daemon serves that snapshot (as written by droneflight
+// -save or GET /v1/policy of another instance); without it a fresh NavNet is
+// initialized from -seed — useful for load testing and smoke tests.
+//
+// Endpoints: POST /v1/act, POST+GET /v1/policy, GET /healthz, GET /statsz.
+// SIGINT/SIGTERM drain in-flight requests, print a final stats summary and
+// exit 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/serve"
+
+	// Linked for their backend registrations, so -backend can name the
+	// quant and systolic substrates.
+	_ "dronerl/internal/hw"
+	_ "dronerl/internal/qnn"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	backend := flag.String("backend", "float", "inference backend: float, quant or systolic")
+	workers := flag.Int("workers", 2, "inference workers (each owns a policy replica)")
+	maxBatch := flag.Int("maxbatch", 32, "largest coalesced batch (1 = single-flight)")
+	window := flag.Duration("window", 2*time.Millisecond, "how long to hold an under-filled batch open")
+	queue := flag.Int("queue", 256, "admission queue depth; beyond it requests get 429")
+	model := flag.String("model", "", "serve this snapshot file (default: random-init from -seed)")
+	seed := flag.Int64("seed", 1, "weight init seed when no -model is given")
+	flag.Parse()
+
+	snap, err := loadPolicy(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-serve:", err)
+		os.Exit(2)
+	}
+
+	s, err := serve.New(serve.Config{
+		Addr:        *addr,
+		Backend:     *backend,
+		Workers:     *workers,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+		QueueDepth:  *queue,
+		Snapshot:    snap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-serve:", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-serve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("dronerl-serve: listening on http://%s (backend=%s workers=%d maxbatch=%d window=%v queue=%d)\n",
+		ln.Addr(), *backend, *workers, *maxBatch, *window, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := s.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-serve:", err)
+		os.Exit(1)
+	}
+
+	st := s.Stats()
+	fmt.Printf("dronerl-serve: drained; served=%d rejected=%d reloads=%d batches=%d mean_batch=%.2f p50=%.3fms p99=%.3fms energy=%.3fmJ\n",
+		st.Served, st.Rejected, st.Reloads, st.Batches, st.MeanBatch, st.P50Ms, st.P99Ms, st.TotalEnergyMJ)
+	if err := json.NewEncoder(os.Stdout).Encode(st); err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// loadPolicy reads the snapshot file, or fabricates a seeded random policy
+// when no file is given.
+func loadPolicy(path string, seed int64) (*nn.Snapshot, error) {
+	if path == "" {
+		spec := nn.NavNetSpec()
+		net := spec.Build()
+		net.Init(rand.New(rand.NewSource(seed)))
+		return nn.TakeSnapshot(net, spec.Name), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.ReadSnapshot(f)
+}

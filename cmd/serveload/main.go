@@ -1,0 +1,214 @@
+// Command serveload is the load generator for dronerl-serve: it fires a
+// burst of concurrent inference requests, optionally hot-reloads the policy
+// mid-burst, treats 429 backpressure as a retry signal rather than a
+// failure, and exits nonzero if any request is lost or answered
+// incorrectly-shaped.
+//
+// Usage:
+//
+//	serveload -addr 127.0.0.1:8080 [-n 200] [-c 8] [-reload] [-seed 1]
+//
+// With -reload it POSTs a freshly initialized snapshot once half the
+// responses are in, then asserts the daemon's policy version advanced and
+// that later responses carry it — the mid-burst zero-downtime check the CI
+// smoke test runs.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dronerl/internal/nn"
+)
+
+type actReply struct {
+	Action        int       `json:"action"`
+	Q             []float32 `json:"q"`
+	PolicyVersion uint64    `json:"policy_version"`
+	Batch         int       `json:"batch"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "dronerl-serve address")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	reload := flag.Bool("reload", false, "hot-reload a fresh policy after n/2 responses")
+	seed := flag.Int64("seed", 1, "observation and reload-policy seed")
+	flag.Parse()
+	if *n < 1 || *c < 1 {
+		fmt.Fprintln(os.Stderr, "serveload: -n and -c must be at least 1")
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	spec := nn.NavNetSpec()
+	obsLen := spec.InputC * spec.InputH * spec.InputW
+
+	var (
+		done      atomic.Int64 // successful responses
+		retries   atomic.Int64 // 429s retried
+		failed    atomic.Int64
+		reloadedV atomic.Uint64 // version the mid-burst reload published
+	)
+
+	// Pre-generate per-client observation streams so the workers share
+	// nothing mutable.
+	perClient := (*n + *c - 1) / *c
+	streams := make([][][]float32, *c)
+	rng := rand.New(rand.NewSource(*seed))
+	total := 0
+	for i := range streams {
+		for j := 0; j < perClient && total < *n; j++ {
+			obs := make([]float32, obsLen)
+			for k := range obs {
+				obs[k] = rng.Float32()
+			}
+			streams[i] = append(streams[i], obs)
+			total++
+		}
+	}
+
+	// The mid-burst reloader: waits for half the responses, then publishes
+	// a fresh policy and records the version the daemon assigned.
+	var reloadWG sync.WaitGroup
+	if *reload {
+		reloadWG.Add(1)
+		go func() {
+			defer reloadWG.Done()
+			for done.Load() < int64(*n)/2 {
+				time.Sleep(time.Millisecond)
+			}
+			net := spec.Build()
+			net.Init(rand.New(rand.NewSource(*seed + 1000)))
+			var buf bytes.Buffer
+			if err := nn.TakeSnapshot(net, spec.Name).Encode(&buf); err != nil {
+				fmt.Fprintln(os.Stderr, "serveload: encoding reload snapshot:", err)
+				failed.Add(1)
+				return
+			}
+			resp, err := http.Post(base+"/v1/policy", "application/octet-stream", &buf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serveload: reload POST:", err)
+				failed.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			var rv struct {
+				PolicyVersion uint64 `json:"policy_version"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "serveload: reload rejected: status %d err %v\n", resp.StatusCode, err)
+				failed.Add(1)
+				return
+			}
+			reloadedV.Store(rv.PolicyVersion)
+			fmt.Printf("serveload: mid-burst reload published policy version %d\n", rv.PolicyVersion)
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *c; i++ {
+		wg.Add(1)
+		go func(stream [][]float32) {
+			defer wg.Done()
+			for _, obs := range stream {
+				if err := fire(base, obs, &retries); err != nil {
+					fmt.Fprintln(os.Stderr, "serveload:", err)
+					failed.Add(1)
+					continue
+				}
+				done.Add(1)
+			}
+		}(streams[i])
+	}
+	wg.Wait()
+	reloadWG.Wait()
+	elapsed := time.Since(start)
+
+	ok := done.Load()
+	fmt.Printf("serveload: %d/%d ok, %d retried-429, %d failed in %v (%.0f req/s)\n",
+		ok, *n, retries.Load(), failed.Load(), elapsed.Round(time.Millisecond),
+		float64(ok)/elapsed.Seconds())
+
+	if *reload {
+		v := reloadedV.Load()
+		if v < 2 {
+			fmt.Fprintln(os.Stderr, "serveload: reload never took effect")
+			failed.Add(1)
+		} else if err := assertVersion(base, v); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			failed.Add(1)
+		}
+	}
+	if failed.Load() > 0 || ok != int64(*n) {
+		os.Exit(1)
+	}
+}
+
+// fire sends one act request, retrying bounded times on 429 backpressure.
+func fire(base string, obs []float32, retries *atomic.Int64) error {
+	body, err := json.Marshal(map[string]any{"obs": obs})
+	if err != nil {
+		return err
+	}
+	backoff := time.Millisecond
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := http.Post(base+"/v1/act", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var rep actReply
+			if err := json.Unmarshal(payload, &rep); err != nil {
+				return fmt.Errorf("undecodable reply: %w", err)
+			}
+			if len(rep.Q) == 0 || rep.Action < 0 || rep.Action >= len(rep.Q) || rep.PolicyVersion == 0 {
+				return fmt.Errorf("malformed reply %+v", rep)
+			}
+			return nil
+		case http.StatusTooManyRequests:
+			// Backpressure working as designed: back off and retry.
+			retries.Add(1)
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return fmt.Errorf("act: status %d: %s", resp.StatusCode, payload)
+		}
+	}
+	return fmt.Errorf("act: still backpressured after 50 attempts")
+}
+
+// assertVersion checks the daemon reports (at least) the expected policy
+// version and that a fresh request is answered under it.
+func assertVersion(base string, want uint64) error {
+	resp, err := http.Get(base + "/v1/policy")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var rv struct {
+		PolicyVersion uint64 `json:"policy_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		return err
+	}
+	if rv.PolicyVersion < want {
+		return fmt.Errorf("policy version %d after reload, want at least %d", rv.PolicyVersion, want)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package mem
+
+import "sync"
+
+// SyncLedger is a mutex-guarded, compact EnergyLedger for accumulation
+// points that are charged from many goroutines at once — the serving
+// daemon's request handlers, which record one camera-frame transfer per
+// admitted request and one snapshot write per policy publish. The experiment
+// engine keeps its lock-free per-worker-then-Merge pattern (see
+// EnergyLedger); SyncLedger is for long-running services where there is no
+// "after the runs drain" moment to merge at, only a live /statsz read.
+//
+// Totals-only by construction: a daemon charging every request would grow an
+// unbounded access log.
+type SyncLedger struct {
+	mu sync.Mutex
+	l  *EnergyLedger
+}
+
+// NewSyncLedger creates an empty, concurrency-safe, compact ledger.
+func NewSyncLedger() *SyncLedger {
+	return &SyncLedger{l: NewCompactLedger()}
+}
+
+// Record logs one access and returns its cost, like EnergyLedger.Record but
+// safe to call from any goroutine.
+func (s *SyncLedger) Record(d *Device, kind AccessKind, bits int64) AccessRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Record(d, kind, bits)
+}
+
+// MergeInto folds the ledger's per-device totals into dst. dst is the
+// caller's private ledger (a /statsz aggregation buffer) — only this
+// ledger's side is locked.
+func (s *SyncLedger) MergeInto(dst *EnergyLedger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst.Merge(s.l)
+}
+
+// MergeFrom folds src's per-device totals into this ledger — the reverse
+// direction of MergeInto, for retiring a per-backend ledger into the
+// service-lifetime totals (e.g. before a hot reload replaces the backend).
+// src must not be written concurrently.
+func (s *SyncLedger) MergeFrom(src *EnergyLedger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.Merge(src)
+}
+
+// Total returns the accumulated cost for one device.
+func (s *SyncLedger) Total(device string) LedgerTotal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Total(device)
+}
+
+// TotalEnergyPJ sums energy across devices in sorted device order.
+func (s *SyncLedger) TotalEnergyPJ() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.TotalEnergyPJ()
+}

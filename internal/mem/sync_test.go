@@ -1,0 +1,55 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncLedgerConcurrent hammers one SyncLedger from many goroutines —
+// recorders and a live MergeInto reader interleaved, the serving daemon's
+// access pattern — and checks the final totals are exact. Run under -race
+// this is also the data-race proof the raw EnergyLedger cannot give.
+func TestSyncLedgerConcurrent(t *testing.T) {
+	s := NewSyncLedger()
+	mram := STTMRAM()
+	const (
+		goroutines = 8
+		perG       = 200
+		bits       = 128
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(kind AccessKind) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Record(mram, kind, bits)
+			}
+		}(AccessKind(g % 2))
+	}
+	// A concurrent /statsz-style reader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.MergeInto(NewCompactLedger())
+		}
+	}()
+	wg.Wait()
+
+	total := s.Total(mram.Name)
+	wantPerKind := int64(goroutines / 2 * perG * bits)
+	if total.ReadBits != wantPerKind || total.WriteBits != wantPerKind {
+		t.Fatalf("totals read %d write %d, want %d each", total.ReadBits, total.WriteBits, wantPerKind)
+	}
+	if s.TotalEnergyPJ() <= 0 {
+		t.Fatal("recorded traffic must cost energy")
+	}
+
+	// MergeInto hands the same totals to a private aggregation ledger.
+	dst := NewCompactLedger()
+	s.MergeInto(dst)
+	if got := dst.Total(mram.Name); got != total {
+		t.Fatalf("MergeInto copied %+v, want %+v", got, total)
+	}
+}

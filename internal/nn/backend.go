@@ -58,6 +58,17 @@ type CostReporter interface {
 	Cost() BackendCost
 }
 
+// BatchInferrer is the optional batched-inference hook of a Backend: given B
+// stacked observations ((B, C, H, W), the ForwardBatch layout) it returns the
+// B*actions Q-values in row-major order, computed with one GEMM per layer
+// instead of B single-sample passes. The serving batcher coalesces in-flight
+// requests into one such call. Per-row results must be bit-identical to B
+// Infer calls — batching is a scheduling decision, never a numeric one — and
+// like Infer the returned slice may be reused by the next call.
+type BatchInferrer interface {
+	InferBatch(batch *tensor.Tensor) []float32
+}
+
 // BackendBuilder constructs a backend over a trained float network. The
 // spec describes the architecture (for hardware pricing) and cfg the
 // training topology (which decides SRAM vs STT-MRAM weight residency).
@@ -139,6 +150,16 @@ func (b *FloatBackend) Name() string { return "float" }
 // computation Agent.Greedy historically ran.
 func (b *FloatBackend) Infer(obs *tensor.Tensor) []float32 {
 	return b.net.Forward(obs.Clone()).Data()
+}
+
+// InferBatch implements BatchInferrer: one ForwardBatch pass — one GEMM per
+// layer for the whole batch. By the batched path's bit-identity contract
+// every row equals the corresponding single-sample Infer, so a serving
+// batcher can coalesce freely without changing any reply. The returned slice
+// is the final layer's workspace: valid until the network's next batched
+// call.
+func (b *FloatBackend) InferBatch(batch *tensor.Tensor) []float32 {
+	return b.net.ForwardBatch(batch).Data()
 }
 
 func init() {

@@ -77,3 +77,48 @@ func TestFloatBackendBitIdentical(t *testing.T) {
 		t.Error("float backend must not report hardware costs")
 	}
 }
+
+// TestFloatBackendInferBatchBitIdentical asserts the batched-inference hook
+// returns, row for row, exactly what B single-sample Infer calls return —
+// the contract that lets the serving batcher coalesce requests without
+// changing a single reply bit.
+func TestFloatBackendInferBatchBitIdentical(t *testing.T) {
+	spec := NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(21)))
+	b, err := NewBackendFor("float", net, spec, E2E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, ok := b.(BatchInferrer)
+	if !ok {
+		t.Fatal("float backend must implement BatchInferrer")
+	}
+	rng := rand.New(rand.NewSource(22))
+	actions := spec.FCs[len(spec.FCs)-1].Out
+	for _, batch := range []int{1, 3, 8} {
+		stack := tensor.New(batch, 1, NavNetInput, NavNetInput)
+		stack.RandUniform(rng, 1)
+		n := NavNetInput * NavNetInput
+		// Snapshot the per-sample answers first: InferBatch may reuse the
+		// network workspaces the single-sample path also touches.
+		want := make([][]float32, batch)
+		for s := 0; s < batch; s++ {
+			obs := tensor.FromSlice(append([]float32(nil), stack.Data()[s*n:(s+1)*n]...),
+				1, NavNetInput, NavNetInput)
+			want[s] = append([]float32(nil), b.Infer(obs)...)
+		}
+		got := bi.InferBatch(stack)
+		if len(got) != batch*actions {
+			t.Fatalf("batch %d: InferBatch returned %d values, want %d", batch, len(got), batch*actions)
+		}
+		for s := 0; s < batch; s++ {
+			for i := 0; i < actions; i++ {
+				if got[s*actions+i] != want[s][i] {
+					t.Fatalf("batch %d sample %d: Q[%d] = %v, want %v (must be bit-identical)",
+						batch, s, i, got[s*actions+i], want[s][i])
+				}
+			}
+		}
+	}
+}

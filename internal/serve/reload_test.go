@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dronerl/internal/nn"
+)
+
+// TestHotReloadUnderLoad publishes a new policy while concurrent clients are
+// in flight and checks the zero-downtime contract bit for bit: every reply
+// must match a direct forward pass under the policy version it reports — old
+// version, old weights; new version, new weights; never a torn mix — no
+// request may fail, and the pool must converge on the new policy.
+func TestHotReloadUnderLoad(t *testing.T) {
+	snapA, refA := freshPolicy(t, 20)
+	snapB, refB := freshPolicy(t, 21)
+
+	s, err := New(Config{
+		Snapshot: snapA, Workers: 2, MaxBatch: 8,
+		BatchWindow: 200 * time.Microsecond, QueueDepth: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+
+	type sample struct {
+		obs []float32
+		rep Reply
+	}
+	const (
+		clients = 8
+		perC    = 30
+	)
+	samples := make([][]sample, clients)
+	errc := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + int64(c)))
+			for i := 0; i < perC; i++ {
+				obs := randObs(rng)
+				rep, err := s.Infer(context.Background(), obs)
+				if err != nil {
+					errc <- err
+					return
+				}
+				samples[c] = append(samples[c], sample{obs, rep})
+			}
+		}(c)
+	}
+
+	// Swap the policy mid-burst: wait for some traffic, then publish B.
+	for {
+		if st := s.Stats(); st.Served >= clients*perC/4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, err := s.Reload(snapB)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if v != 2 {
+		t.Fatalf("reload published version %d, want 2", v)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("request failed during reload: %v", err)
+	}
+
+	// Verify serially against the untouched reference networks.
+	verified := map[uint64]int{}
+	for c := range samples {
+		for i, sm := range samples[c] {
+			var ref *nn.Network
+			switch sm.rep.PolicyVersion {
+			case 1:
+				ref = refA
+			case 2:
+				ref = refB
+			default:
+				t.Fatalf("client %d req %d: impossible policy version %d", c, i, sm.rep.PolicyVersion)
+			}
+			want := forwardQ(ref, sm.obs)
+			for j, got := range sm.rep.Q {
+				if got != want[j] {
+					t.Fatalf("client %d req %d (version %d): Q[%d] = %v, want %v — torn or stale weights",
+						c, i, sm.rep.PolicyVersion, j, got, want[j])
+				}
+			}
+			verified[sm.rep.PolicyVersion]++
+		}
+	}
+	if verified[1]+verified[2] != clients*perC {
+		t.Fatalf("verified %v, want %d total", verified, clients*perC)
+	}
+	if verified[2] == 0 {
+		t.Error("no request ever saw the reloaded policy")
+	}
+
+	// The pool converges: a fresh request answers under the new policy.
+	rep, err := s.Infer(context.Background(), randObs(rand.New(rand.NewSource(22))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PolicyVersion != 2 {
+		t.Errorf("post-reload request served version %d, want 2", rep.PolicyVersion)
+	}
+	if st := s.Stats(); st.Reloads != 1 || st.PolicyVersion != 2 || st.AdoptFailures != 0 {
+		t.Errorf("stats after reload: reloads %d version %d adopt failures %d",
+			st.Reloads, st.PolicyVersion, st.AdoptFailures)
+	}
+}
+
+// TestReloadValidation checks a bad snapshot can never replace a serving
+// policy: wrong architecture and wrong parameter topology are both rejected
+// and the version stays put.
+func TestReloadValidation(t *testing.T) {
+	snap, _ := freshPolicy(t, 23)
+	s, err := New(Config{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	wrongArch, _ := freshPolicy(t, 24)
+	wrongArch.Arch = "ModifiedAlexNet"
+	if _, err := s.Reload(wrongArch); err == nil || !strings.Contains(err.Error(), "ModifiedAlexNet") {
+		t.Errorf("wrong-arch reload: error %v, want the offending architecture named", err)
+	}
+
+	// Same arch label, broken parameter topology.
+	torn, _ := freshPolicy(t, 25)
+	torn.Data[0] = torn.Data[0][:len(torn.Data[0])-1]
+	if _, err := s.Reload(torn); err == nil || !strings.Contains(err.Error(), "values") {
+		t.Errorf("truncated-param reload: error %v, want a size mismatch", err)
+	}
+
+	if v := s.PolicyVersion(); v != 1 {
+		t.Errorf("rejected reloads moved the version to %d", v)
+	}
+}

@@ -1,0 +1,48 @@
+package dronerl
+
+import (
+	"context"
+	"net"
+
+	"dronerl/internal/serve"
+)
+
+// This file is the serving facade: the policy daemon of cmd/dronerl-serve as
+// a library call, for embedding the inference service in a larger process.
+//
+//	snap := dronerl.MetaTrain(...)
+//	err := dronerl.Serve(ctx, dronerl.ServeConfig{Addr: ":8080", Snapshot: snap})
+//
+// Serve batches concurrent requests into single forward passes, rejects
+// beyond a bounded queue (backpressure), and hot-reloads policies POSTed to
+// /v1/policy with zero downtime. Cancel ctx for a graceful drain.
+
+// ServeConfig configures the policy-serving daemon; the zero value of every
+// field except Snapshot selects a sensible default.
+type ServeConfig = serve.Config
+
+// ServeStats is the observability payload of the daemon's GET /statsz.
+type ServeStats = serve.Stats
+
+// NewServer builds a policy server for callers that want to drive the
+// in-process API (Start/Infer/Reload/Stats/Close) or mount Handler on their
+// own mux instead of letting Serve own a listener.
+func NewServer(cfg ServeConfig) (*serve.Server, error) { return serve.New(cfg) }
+
+// Serve runs the policy-serving daemon on cfg.Addr until ctx is cancelled,
+// then drains in-flight requests and returns nil. It is the library twin of
+// cmd/dronerl-serve.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:8080"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,99 @@
+package dronerl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"dronerl/internal/nn"
+)
+
+// TestServeFacade boots the daemon through the root API on a random port,
+// round-trips one inference and a hot reload over HTTP, and checks ctx
+// cancellation drains cleanly — the facade-level acceptance of the serving
+// subsystem.
+func TestServeFacade(t *testing.T) {
+	spec := nn.NavNetSpec()
+	build := func(seed int64) *nn.Snapshot {
+		net := spec.Build()
+		net.Init(rand.New(rand.NewSource(seed)))
+		return nn.TakeSnapshot(net, spec.Name)
+	}
+
+	const addr = "127.0.0.1:39857"
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(ctx, ServeConfig{Addr: addr, Snapshot: build(1), Workers: 1})
+	}()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	obs := make([]float32, nn.NavNetInput*nn.NavNetInput)
+	body, _ := json.Marshal(map[string]any{"obs": obs})
+	resp, err := http.Post(base+"/v1/act", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Action        int       `json:"action"`
+		Q             []float32 `json:"q"`
+		PolicyVersion uint64    `json:"policy_version"`
+	}
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(rep.Q) != 5 || rep.PolicyVersion != 1 {
+		t.Fatalf("act: status %d reply %+v", resp.StatusCode, rep)
+	}
+
+	var gobBuf bytes.Buffer
+	if err := build(2).Encode(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.Post(base+"/v1/policy", "application/octet-stream", &gobBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d", r2.StatusCode)
+	}
+
+	var st ServeStats
+	r3, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(r3.Body).Decode(&st)
+	r3.Body.Close()
+	if st.PolicyVersion != 2 || st.Served != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v on cancellation, want nil", err)
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal(fmt.Errorf("daemon never became healthy at %s", base))
+}
