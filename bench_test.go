@@ -11,10 +11,12 @@ package dronerl
 import (
 	"context"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 
 	"dronerl/internal/core"
+	"dronerl/internal/dist"
 	"dronerl/internal/env"
 	"dronerl/internal/hw"
 	"dronerl/internal/mem"
@@ -658,6 +660,67 @@ func BenchmarkOnlineLearningActors4(b *testing.B) { benchmarkOnlineLearningActor
 
 // BenchmarkOnlineLearningActors8 runs the pipeline with an 8-actor fleet.
 func BenchmarkOnlineLearningActors8(b *testing.B) { benchmarkOnlineLearningActors(b, 8) }
+
+// BenchmarkDistributedSteps measures the crash-tolerant distributed
+// pipeline on the in-process benchmarks' workload: a learner on a loopback
+// TCP listener and 4 wire-protocol actor clients streaming framed
+// experience — every transition crosses the socket with its CRC, and every
+// publish travels as a broadcast snapshot frame. The steps/s delta against
+// BenchmarkOnlineLearningActors4 is the wire protocol's price.
+func BenchmarkDistributedSteps(b *testing.B) {
+	const remoteActors = 4
+	snap := onlineBenchSnapshot(b)
+	spec := nn.NavNetSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		agent, err := transfer.Deploy(snap, spec, nn.L3, onlineBenchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		learner, err := dist.NewLearner(dist.LearnerConfig{
+			Agent: agent, Spec: spec, Cfg: nn.L3, Listener: ln,
+			ActorSlots: remoteActors, TotalSteps: onlineBenchIters,
+			TrainEvery: 1, SyncEvery: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		learnerErr := make(chan error, 1)
+		go func() {
+			_, err := learner.Run(context.Background())
+			learnerErr <- err
+		}()
+		actorErrs := make(chan error, remoteActors)
+		for a := 0; a < remoteActors; a++ {
+			go func(a int) {
+				w := env.IndoorApartment(1003)
+				w.Seed(1004 + 97*int64(a))
+				w.Spawn()
+				_, err := dist.RunActor(context.Background(), dist.ActorConfig{
+					Addr: ln.Addr().String(), Spec: spec, World: w,
+					Steps: onlineBenchIters / remoteActors,
+					Seed:  1005 + 131*int64(a),
+				})
+				actorErrs <- err
+			}(a)
+		}
+		for a := 0; a < remoteActors; a++ {
+			if err := <-actorErrs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-learnerErr; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(onlineBenchIters*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
 
 // Serving throughput: the policy-serving daemon's headline comparison.
 // Every sub-benchmark pushes the same request stream through the in-process

@@ -21,6 +21,13 @@
 // reported but do not fail the gate (they are new coverage, not
 // regressions). Baselines are machine-specific: compare runs from the same
 // runner class (CI pins GOMAXPROCS=1 for stability).
+//
+// Gated benchmarks that also match -noisy are held to the wider
+// -maxregress-noisy band instead: concurrency workloads (closed-loop
+// serving QPS, actor-fleet throughput) are scheduler-bound and swing far
+// more run-to-run on shared runners than the pinned single-thread hot
+// paths, and a gate that flakes gets deleted — a wide honest band beats a
+// tight ignored one.
 package main
 
 import (
@@ -58,6 +65,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate regressions against")
 	gate := flag.String("gate", "ConvForward|GEMM|TrainStep", "regexp of benchmark names the gate checks")
 	maxRegress := flag.Float64("maxregress", 15, "fail if a gated benchmark slows down by more than this percent")
+	noisy := flag.String("noisy", "", "regexp of gated benchmarks held to -maxregress-noisy instead (scheduler-bound workloads)")
+	noisyRegress := flag.Float64("maxregress-noisy", 40, "regression budget for -noisy benchmarks, percent")
 	flag.Parse()
 
 	var rep Report
@@ -103,15 +112,29 @@ func main() {
 	}
 
 	if *baseline != "" {
-		if !gateAgainstBaseline(rep, *baseline, *gate, *maxRegress) {
+		if !gateAgainstBaseline(rep, *baseline, gateSpec{
+			Pattern:  *gate,
+			MaxPct:   *maxRegress,
+			Noisy:    *noisy,
+			NoisyPct: *noisyRegress,
+		}) {
 			os.Exit(1)
 		}
 	}
 }
 
+// gateSpec is the regression-gate configuration: which benchmarks are
+// checked, and how much slowdown each class tolerates.
+type gateSpec struct {
+	Pattern  string  // gated benchmark names
+	MaxPct   float64 // budget for gated benchmarks
+	Noisy    string  // subset of gated names held to NoisyPct instead ("" = none)
+	NoisyPct float64
+}
+
 // gateAgainstBaseline compares the gated benchmarks of rep against the
 // committed baseline document and reports whether the gate passes.
-func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegressPct float64) bool {
+func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
@@ -122,18 +145,29 @@ func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegres
 		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
 		return false
 	}
-	gateRE, err := regexp.Compile(gatePattern)
+	gateRE, err := regexp.Compile(spec.Pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: gate pattern:", err)
 		return false
+	}
+	var noisyRE *regexp.Regexp
+	if spec.Noisy != "" {
+		if noisyRE, err = regexp.Compile(spec.Noisy); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: noisy pattern:", err)
+			return false
+		}
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseNs[b.Name] = b.NsPerOp
 	}
 
-	fmt.Fprintf(os.Stderr, "benchjson: gating %q against %s (max +%.0f%%)\n",
-		gatePattern, baselinePath, maxRegressPct)
+	fmt.Fprintf(os.Stderr, "benchjson: gating %q against %s (max +%.0f%%",
+		spec.Pattern, baselinePath, spec.MaxPct)
+	if noisyRE != nil {
+		fmt.Fprintf(os.Stderr, "; %q +%.0f%%", spec.Noisy, spec.NoisyPct)
+	}
+	fmt.Fprintln(os.Stderr, ")")
 	ok := true
 	regressed := false
 	gated := 0
@@ -153,14 +187,19 @@ func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegres
 			continue
 		}
 		delta := 100 * (b.NsPerOp - old) / old
+		budget := spec.MaxPct
+		label := ""
+		if noisyRE != nil && noisyRE.MatchString(b.Name) {
+			budget, label = spec.NoisyPct, " [noisy]"
+		}
 		verdict := "ok"
-		if delta > maxRegressPct {
+		if delta > budget {
 			verdict = "FAIL"
 			ok = false
 			regressed = true
 		}
-		fmt.Fprintf(os.Stderr, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-			verdict, b.Name, old, b.NsPerOp, delta)
+		fmt.Fprintf(os.Stderr, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%, budget +%.0f%%)%s\n",
+			verdict, b.Name, old, b.NsPerOp, delta, budget, label)
 	}
 	// A gated baseline entry that vanished from the fresh run means the gate
 	// is no longer checking it — a renamed or deleted benchmark would
@@ -186,7 +225,7 @@ func gateAgainstBaseline(rep Report, baselinePath, gatePattern string, maxRegres
 	// Independent failure modes get independent summaries: a run can both
 	// regress a benchmark and lose one.
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION — a gated benchmark slowed down by more than %.0f%%\n", maxRegressPct)
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION — a gated benchmark slowed down past its budget")
 	}
 	return ok
 }

@@ -25,7 +25,7 @@ func TestGatePassesWithinBudget(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}})
 	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1100}}}
-	if !gateAgainstBaseline(rep, base, "TrainStep", 15) {
+	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
 		t.Error("a +10% drift inside a 15% budget must pass the gate")
 	}
 }
@@ -35,7 +35,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}})
 	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1300}}}
-	if gateAgainstBaseline(rep, base, "TrainStep", 15) {
+	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
 		t.Error("a +30% regression must fail a 15% gate")
 	}
 }
@@ -53,7 +53,7 @@ func TestGateFailsOnMissingGatedBenchmark(t *testing.T) {
 		// ConvForwardBatchGEMM is gone from the fresh run.
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}}
-	if gateAgainstBaseline(rep, base, "ConvForward|TrainStep", 15) {
+	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "ConvForward|TrainStep", MaxPct: 15}) {
 		t.Error("a gated benchmark missing from the fresh run must fail the gate")
 	}
 }
@@ -66,8 +66,38 @@ func TestGateNewBenchmarkDoesNotFail(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 		{Name: "TrainStepTail", NsPerOp: 123}, // new coverage, no baseline entry
 	}}
-	if !gateAgainstBaseline(rep, base, "TrainStep", 15) {
+	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
 		t.Error("new benchmarks without baseline entries are not regressions")
+	}
+}
+
+// TestGateNoisyBand pins the two-tier budget: a benchmark matching the
+// noisy pattern is held to the wider band, while the same drift on a
+// non-noisy gated benchmark still fails the tight band.
+func TestGateNoisyBand(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+		{Name: "ServeQPSQuantBatched", NsPerOp: 1000},
+	}})
+	spec := gateSpec{Pattern: "TrainStep|ServeQPS", MaxPct: 15, Noisy: "ServeQPS", NoisyPct: 40}
+
+	rep := Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+		{Name: "ServeQPSQuantBatched", NsPerOp: 1300}, // +30%: inside the noisy band
+	}}
+	if !gateAgainstBaseline(rep, base, spec) {
+		t.Error("+30% on a noisy benchmark must pass a 40% noisy band")
+	}
+
+	rep.Benchmarks[1].NsPerOp = 1500 // +50%: past even the noisy band
+	if gateAgainstBaseline(rep, base, spec) {
+		t.Error("+50% on a noisy benchmark must fail a 40% noisy band")
+	}
+
+	rep.Benchmarks[1].NsPerOp = 1000
+	rep.Benchmarks[0].NsPerOp = 1300 // +30% on the tight band
+	if gateAgainstBaseline(rep, base, spec) {
+		t.Error("the noisy band must not widen the budget of non-noisy benchmarks")
 	}
 }
 

@@ -1,0 +1,75 @@
+// Command dronerl-actor flies one remote actor of the distributed pipeline:
+// it connects to a dronerl-learner, receives the policy and exploration
+// schedule in the welcome, then steps its private world — streaming
+// experience to the learner and adopting published policies at episode
+// boundaries. The learner being unreachable never stops the flying:
+// experience buffers locally and replays on reconnect, with exponential
+// backoff between attempts.
+//
+// Usage:
+//
+//	dronerl-actor [-addr 127.0.0.1:9090] [-env indoor-apartment]
+//	              [-steps 2000] [-seed 2] [-id 0] [-flush 8] [-buffer 4096]
+//
+// Pass -id with a previously assigned actor ID (printed at exit) to reclaim
+// the same replay shard after a crash or restart; 0 asks the learner for a
+// fresh slot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dronerl/internal/dist"
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "learner address")
+	envName := flag.String("env", "indoor-apartment", "scenario to fly (see droneflight -list)")
+	steps := flag.Int("steps", 2000, "env steps to fly")
+	seed := flag.Int64("seed", 2, "world + exploration seed")
+	id := flag.Uint64("id", 0, "actor ID to reclaim (0: ask for a fresh slot)")
+	flush := flag.Int("flush", 8, "transitions per experience frame")
+	buffer := flag.Int("buffer", 4096, "local ring capacity while disconnected")
+	flag.Parse()
+
+	scenario, ok := env.LookupScenario(*envName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dronerl-actor: unknown scenario %q (droneflight -list shows the catalog)\n", *envName)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("dronerl-actor: flying %s for %d steps against %s\n", *envName, *steps, *addr)
+	start := time.Now()
+	st, err := dist.RunActor(ctx, dist.ActorConfig{
+		Addr:       *addr,
+		Spec:       nn.NavNetSpec(),
+		World:      scenario.Build(*seed),
+		Steps:      *steps,
+		Seed:       *seed,
+		ActorID:    *id,
+		FlushEvery: *flush,
+		BufferCap:  *buffer,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "dronerl-actor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dronerl-actor: done in %v; id=%d steps=%d sent=%d undelivered=%d dropped=%d connects=%d adoptions=%d\n",
+		time.Since(start).Round(time.Millisecond), st.ActorID, st.Steps, st.Sent,
+		st.Undelivered, st.Dropped, st.Connects, st.Adoptions)
+	if err := json.NewEncoder(os.Stdout).Encode(st); err != nil {
+		fmt.Fprintln(os.Stderr, "dronerl-actor:", err)
+		os.Exit(1)
+	}
+}

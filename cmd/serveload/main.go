@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	serveload -addr 127.0.0.1:8080 [-n 200] [-c 8] [-reload] [-seed 1]
+//	serveload -addr 127.0.0.1:8080 [-n 200] [-c 8] [-reload] [-chaos] [-seed 1]
 //
 // With -reload it POSTs a freshly initialized snapshot once half the
 // responses are in, then asserts the daemon's policy version advanced and
 // that later responses carry it — the mid-burst zero-downtime check the CI
 // smoke test runs.
+//
+// With -chaos it additionally runs a saboteur alongside the burst: raw TCP
+// connections that send partial requests — cut mid-header or mid-body —
+// and then slam shut with an RST. None of those count as admitted work;
+// the assertion is that every one of the -n well-formed requests is still
+// answered and the daemon's /healthz stays green after the abuse.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sync"
@@ -42,6 +49,7 @@ func main() {
 	n := flag.Int("n", 200, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
 	reload := flag.Bool("reload", false, "hot-reload a fresh policy after n/2 responses")
+	chaos := flag.Bool("chaos", false, "abort raw connections mid-request alongside the burst")
 	seed := flag.Int64("seed", 1, "observation and reload-policy seed")
 	flag.Parse()
 	if *n < 1 || *c < 1 {
@@ -115,6 +123,53 @@ func main() {
 		}()
 	}
 
+	// The saboteur: while the burst runs, open raw TCP connections, write a
+	// truncated request — cut anywhere from mid-header to mid-body — then
+	// slam the connection shut with an RST. None of these count as admitted
+	// work; the daemon must shrug them off without losing a single
+	// well-formed request.
+	var (
+		sabotaged atomic.Int64
+		sabWG     sync.WaitGroup
+	)
+	sabStop := make(chan struct{})
+	if *chaos {
+		body, err := json.Marshal(map[string]any{"obs": streams[0][0]})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(2)
+		}
+		full := fmt.Sprintf("POST /v1/act HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+			*addr, len(body), body)
+		for g := 0; g < 2; g++ {
+			sabWG.Add(1)
+			go func(g int) {
+				defer sabWG.Done()
+				rng := rand.New(rand.NewSource(*seed + 2000 + int64(g)))
+				for {
+					select {
+					case <-sabStop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", *addr)
+					if err != nil {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					cut := 1 + rng.Intn(len(full)-1)
+					io.WriteString(conn, full[:cut])
+					time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+					if tc, ok := conn.(*net.TCPConn); ok {
+						tc.SetLinger(0) // RST, not FIN: the rudest way to vanish
+					}
+					conn.Close()
+					sabotaged.Add(1)
+				}
+			}(g)
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < *c; i++ {
@@ -132,6 +187,8 @@ func main() {
 		}(streams[i])
 	}
 	wg.Wait()
+	close(sabStop)
+	sabWG.Wait()
 	reloadWG.Wait()
 	elapsed := time.Since(start)
 
@@ -150,9 +207,30 @@ func main() {
 			failed.Add(1)
 		}
 	}
+	if *chaos {
+		fmt.Printf("serveload: chaos aborted %d connections mid-request\n", sabotaged.Load())
+		if err := assertHealthy(base); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			failed.Add(1)
+		}
+	}
 	if failed.Load() > 0 || ok != int64(*n) {
 		os.Exit(1)
 	}
+}
+
+// assertHealthy checks the daemon still answers /healthz — the post-chaos
+// "is anybody home" probe.
+func assertHealthy(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz after chaos: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz after chaos: status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // fire sends one act request, retrying bounded times on 429 backpressure.

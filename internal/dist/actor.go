@@ -1,0 +1,604 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+// ActorConfig assembles a remote actor. Spec, World and Steps are required;
+// either Addr (with Network) or Dial must be set.
+type ActorConfig struct {
+	// Network and Addr locate the learner ("tcp"/"unix" + address). Dial,
+	// when set, replaces the default dialer entirely — the chaos harness
+	// uses it to wrap connections in failure injectors.
+	Network, Addr string
+	Dial          func(ctx context.Context) (net.Conn, error)
+	// Spec is the policy architecture; it must match the learner's (the
+	// handshake enforces it). The training topology arrives in the welcome.
+	Spec nn.ArchSpec
+	// World is this actor's private environment and Steps its share of the
+	// fleet's environment steps.
+	World *env.World
+	Steps int
+	// Seed drives the actor's private exploration rng.
+	Seed int64
+	// ActorID, when nonzero, reclaims a previously assigned slot — how a
+	// restarted actor process resumes feeding its shard (the chaos harness
+	// threads the ID across kills). Zero asks for a fresh slot.
+	ActorID uint64
+	// FlushEvery batches transitions per frame (default 8). BufferCap
+	// bounds the local ring buffer that absorbs learner outages (default
+	// 4096 transitions); when it overflows the oldest experience is
+	// dropped, counted in ActorStats.Dropped.
+	FlushEvery, BufferCap int
+	// DialTimeout bounds one connection attempt (default 2s). BackoffMin
+	// and BackoffMax bound the reconnect schedule (defaults 50ms and 2s):
+	// exponential doubling from min to max with ±50% jitter, so a fleet
+	// orphaned by a learner restart does not reconnect in lockstep.
+	DialTimeout, BackoffMin, BackoffMax time.Duration
+	// HeartbeatEvery is the actor's keepalive cadence when no transitions
+	// are flowing (default 250ms); a learner connection silent for
+	// HeartbeatTimeout (default 3s) is declared dead.
+	HeartbeatEvery, HeartbeatTimeout time.Duration
+	// DrainTimeout bounds the final backlog flush after the last step
+	// (default 5s): the actor keeps reconnecting that long to deliver the
+	// tail of its experience before giving up.
+	DrainTimeout time.Duration
+}
+
+func (c *ActorConfig) withDefaults() error {
+	if c.Spec.Name == "" || c.World == nil || c.Steps <= 0 {
+		return errors.New("dist: ActorConfig needs Spec, World and Steps")
+	}
+	if c.Dial == nil && c.Addr == "" {
+		return errors.New("dist: ActorConfig needs Addr or Dial")
+	}
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 8
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 4096
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// ActorStats summarizes one actor run.
+type ActorStats struct {
+	// ActorID is the learner-assigned identity; pass it back through
+	// ActorConfig.ActorID to resume this actor's slot after a restart.
+	ActorID uint64
+	// Steps counts environment steps taken, Sent transitions delivered to
+	// the learner, Dropped transitions evicted from the local ring while
+	// the learner was unreachable, Undelivered transitions still in the
+	// ring when the run ended.
+	Steps, Sent, Dropped, Undelivered int
+	// Connects counts sessions established (the first plus every
+	// reconnect) and Adoptions policy snapshots installed at episode
+	// boundaries.
+	Connects, Adoptions int
+}
+
+// session is one live learner connection from the actor's side.
+type session struct {
+	conn net.Conn
+	dead chan struct{}
+	once sync.Once
+}
+
+func (s *session) kill() {
+	s.once.Do(func() {
+		close(s.dead)
+		s.conn.Close()
+	})
+}
+
+// pendingPolicy is the newest policy snapshot received and not yet
+// installed.
+type pendingPolicy struct {
+	snap    *nn.Snapshot
+	version uint64
+	full    bool
+}
+
+// actor is the running state of RunActor.
+type actor struct {
+	cfg ActorConfig
+	net *nn.Network
+	// rng drives exploration (stepping goroutine only); backoffRng drives
+	// reconnect jitter, kept separate so reconnects neither race the
+	// stepping goroutine nor perturb the exploration stream.
+	rng, backoffRng *rand.Rand
+
+	id uint64 // assigned by the first welcome, reused on reconnect
+	// initialized flips after the first completed handshake of this
+	// process; set during the blocking first connect, before the stepping
+	// and reconnect goroutines exist.
+	initialized bool
+	schedule    rl.Options
+
+	sess    atomic.Pointer[session]
+	pending atomic.Pointer[pendingPolicy]
+	// globalEnv estimates the fleet-wide env-step count: seeded by the
+	// welcome, bumped per local step, re-based by learner heartbeats. It
+	// only drives the epsilon schedule, so "roughly synchronized" is
+	// enough.
+	globalEnv atomic.Int64
+
+	// ring is the local experience buffer; single-goroutine (the stepping
+	// loop), so unlocked.
+	ring     []Experience
+	ringHead int
+	dropped  int
+
+	connects  atomic.Int64
+	lastWrite time.Time
+	stats     ActorStats
+}
+
+// RunActor flies one remote actor: it connects to the learner (retrying
+// with backoff until ctx cancels), then steps its private world for
+// cfg.Steps steps, streaming experience and adopting published policies at
+// episode boundaries. The learner being unreachable never stops the flying:
+// experience buffers into a bounded local ring and replays on reconnect.
+// The first handshake is the only hard dependency — epsilon schedule,
+// topology and initial weights come from the welcome.
+func RunActor(ctx context.Context, cfg ActorConfig) (ActorStats, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return ActorStats{}, err
+	}
+	a := &actor{
+		cfg:        cfg,
+		net:        cfg.Spec.Build(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		backoffRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		ring:       make([]Experience, 0, cfg.BufferCap),
+		id:         cfg.ActorID,
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// First connection is blocking: nothing can fly without the welcome.
+	if err := a.connect(runCtx); err != nil {
+		return a.snapshotStats(), err
+	}
+	// From here on, reconnects run in the background while the actor keeps
+	// flying; reconnectLoop exits when runCtx cancels.
+	go a.reconnectLoop(runCtx)
+
+	err := a.fly(runCtx)
+	if err == nil {
+		err = a.drain(runCtx)
+	}
+	// The bye announces a *clean* departure: mission flown, backlog drained
+	// (or drain timed out). A cancelled actor is a crash from the learner's
+	// point of view and must not pretend otherwise — its slot stays reserved
+	// for the restart, and the learner's idle timeout covers the case where
+	// no restart ever comes.
+	if err == nil {
+		a.sendBye(runCtx)
+	}
+	cancel()
+	if s := a.sess.Load(); s != nil {
+		s.kill()
+	}
+	return a.snapshotStats(), err
+}
+
+func (a *actor) snapshotStats() ActorStats {
+	st := a.stats
+	st.ActorID = a.id
+	st.Dropped = a.dropped
+	st.Undelivered = len(a.ring) - a.ringHead
+	st.Connects = int(a.connects.Load())
+	return st
+}
+
+// fly is the stepping loop: epsilon-greedy action on the local policy,
+// world step, ring push, opportunistic flush, episode-boundary adoption.
+func (a *actor) fly(ctx context.Context) error {
+	w := a.cfg.World
+	obs := env.DepthImage(w.Depths(), w.Camera.MaxRange)
+	for k := 0; k < a.cfg.Steps; k++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t := a.globalEnv.Add(1)
+		var action int
+		if a.rng.Float64() < a.schedule.EpsilonAt(t) {
+			action = a.rng.Intn(a.actions())
+		} else {
+			action = a.net.Forward(obs.Clone()).ArgMax()
+		}
+		res := w.Step(env.Action(action))
+		next := env.DepthImage(res.Depths, w.Camera.MaxRange)
+		a.push(Experience{
+			T: rl.Transition{
+				State: obs, Action: action, Reward: res.Reward,
+				Next: next, Done: res.Crashed,
+			},
+			Dist: res.FlightDistance,
+		})
+		a.stats.Steps++
+		a.maybeFlush(false)
+		if res.Crashed {
+			a.adoptPending()
+		}
+		obs = next
+	}
+	return nil
+}
+
+func (a *actor) actions() int {
+	return a.cfg.Spec.FCs[len(a.cfg.Spec.FCs)-1].Out
+}
+
+// push appends to the ring, evicting the oldest entry when full. Eviction
+// compacts lazily: consumed (head) space is reclaimed first.
+func (a *actor) push(e Experience) {
+	if a.ringHead > 0 && (len(a.ring) == cap(a.ring) || a.ringHead >= a.cfg.BufferCap/2) {
+		n := copy(a.ring, a.ring[a.ringHead:])
+		a.ring = a.ring[:n]
+		a.ringHead = 0
+	}
+	if len(a.ring) == cap(a.ring) {
+		copy(a.ring, a.ring[1:])
+		a.ring = a.ring[:len(a.ring)-1]
+		a.dropped++
+	}
+	a.ring = append(a.ring, e)
+}
+
+// maybeFlush sends buffered experience to the live session, FlushEvery at a
+// time (everything when force is set), falling back to a heartbeat when
+// there is nothing to send but the link has been quiet too long. Entries
+// leave the ring only after a successful write — a failed write kills the
+// session and keeps the backlog for the next one. Delivery is therefore
+// at-most-once per transition: a frame the kernel accepted but the learner
+// never read is lost with the connection, which replay-based RL absorbs
+// (the learner trains on what arrived; nothing torn ever enters a shard).
+func (a *actor) maybeFlush(force bool) {
+	s := a.sess.Load()
+	if s == nil {
+		return
+	}
+	backlog := len(a.ring) - a.ringHead
+	if backlog < a.cfg.FlushEvery && !force {
+		if backlog == 0 && time.Since(a.lastWrite) > a.cfg.HeartbeatEvery {
+			var hb [8]byte
+			putUint64(hb[:], uint64(a.globalEnv.Load()))
+			if err := writeFrame(s.conn, frameHeartbeat, hb[:]); err != nil {
+				s.kill()
+				return
+			}
+			a.lastWrite = time.Now()
+		}
+		return
+	}
+	for {
+		backlog = len(a.ring) - a.ringHead
+		if backlog == 0 || (backlog < a.cfg.FlushEvery && !force) {
+			return
+		}
+		n := backlog
+		if n > a.cfg.FlushEvery {
+			n = a.cfg.FlushEvery
+		}
+		payload, err := encodeExperience(a.ring[a.ringHead : a.ringHead+n])
+		if err != nil {
+			// Unencodable experience is a programming error on this side;
+			// drop the batch rather than wedge the ring forever.
+			a.ringHead += n
+			a.dropped += n
+			continue
+		}
+		if err := writeFrame(s.conn, frameTransitions, payload); err != nil {
+			s.kill()
+			return
+		}
+		a.ringHead += n
+		a.stats.Sent += n
+		a.lastWrite = time.Now()
+	}
+}
+
+// adoptPending installs the newest received policy, if any.
+func (a *actor) adoptPending() {
+	p := a.pending.Swap(nil)
+	if p == nil {
+		return
+	}
+	var err error
+	if p.full {
+		err = p.snap.Restore(a.net)
+	} else {
+		err = installTrainable(a.net, p.snap)
+	}
+	if err == nil {
+		a.stats.Adoptions++
+	}
+}
+
+// drain delivers the final backlog: keep flushing (and waiting for
+// reconnects) until the ring is empty, the DrainTimeout passes, or ctx
+// cancels.
+func (a *actor) drain(ctx context.Context) error {
+	deadline := time.Now().Add(a.cfg.DrainTimeout)
+	for len(a.ring)-a.ringHead > 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil // undelivered tail reported in stats
+		}
+		a.maybeFlush(true)
+		if len(a.ring)-a.ringHead > 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// sendBye announces a clean departure, retrying briefly across reconnects:
+// the bye is what lets the learner finish without waiting for experience
+// that will never come, so it is worth a short wait for a live session.
+func (a *actor) sendBye(ctx context.Context) {
+	deadline := time.Now().Add(time.Second)
+	for {
+		if s := a.sess.Load(); s != nil {
+			if writeFrame(s.conn, frameBye, nil) == nil {
+				// Let the learner close first. Slamming our side shut with
+				// unread learner heartbeats still in the receive buffer turns
+				// the close into a TCP reset, which can destroy the bye (and
+				// the final flush) before the learner reads them. The learner
+				// drops the connection once it processes the bye; our read
+				// loop sees that EOF and marks the session dead.
+				if cw, ok := s.conn.(interface{ CloseWrite() error }); ok {
+					cw.CloseWrite()
+				}
+				select {
+				case <-s.dead:
+				case <-time.After(time.Second):
+				case <-ctx.Done():
+				}
+				return
+			}
+			s.kill()
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// connect dials and handshakes until it succeeds or ctx cancels, with
+// exponential backoff and jitter between attempts. A hello answered by an
+// immediate clean close three times in a row gives up: the learner is
+// refusing this actor (wrong protocol, wrong architecture, or no free
+// slot), and retrying cannot fix that.
+func (a *actor) connect(ctx context.Context) error {
+	delay := a.cfg.BackoffMin
+	refusals := 0
+	for {
+		err := a.dialOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errRefused) {
+			if refusals++; refusals >= 3 {
+				return err
+			}
+		} else {
+			refusals = 0
+		}
+		// The reconnect rng is private to whichever goroutine runs connect
+		// at a time (the stepping goroutine for the first handshake, the
+		// reconnect loop after), never both at once.
+		jittered := delay/2 + time.Duration(a.backoffRng.Int63n(int64(delay)))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(jittered):
+		}
+		delay *= 2
+		if delay > a.cfg.BackoffMax {
+			delay = a.cfg.BackoffMax
+		}
+	}
+}
+
+// reconnectLoop watches the live session and replaces it when it dies.
+func (a *actor) reconnectLoop(ctx context.Context) {
+	for {
+		s := a.sess.Load()
+		if s == nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if err := a.connect(ctx); err != nil {
+				return
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.dead:
+			a.sess.CompareAndSwap(s, nil)
+		}
+	}
+}
+
+// errRefused marks a handshake answered by an immediate clean close — the
+// learner's way of rejecting a hello it will never accept.
+var errRefused = errors.New("dist: learner refused handshake")
+
+// dialOnce makes one connection attempt: dial, hello, welcome, policy
+// snapshot, then publish the session and start its reader.
+func (a *actor) dialOnce(ctx context.Context) error {
+	dialCtx, cancel := context.WithTimeout(ctx, a.cfg.DialTimeout)
+	defer cancel()
+	var conn net.Conn
+	var err error
+	if a.cfg.Dial != nil {
+		conn, err = a.cfg.Dial(dialCtx)
+	} else {
+		var d net.Dialer
+		conn, err = d.DialContext(dialCtx, a.cfg.Network, a.cfg.Addr)
+	}
+	if err != nil {
+		return err
+	}
+
+	hello, err := encodeGob(helloMsg{Proto: protoVersion, Arch: a.cfg.Spec.Name, ActorID: a.id})
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(a.cfg.DialTimeout))
+	if err := writeFrame(conn, frameHello, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameWelcome {
+		conn.Close()
+		switch {
+		case errors.Is(err, io.EOF):
+			// A clean close right after our hello is the learner refusing
+			// it; connect gives up after a few of these in a row.
+			err = fmt.Errorf("%w: connection closed after hello", errRefused)
+		case err == nil:
+			err = fmt.Errorf("%w: expected welcome, got frame %d", ErrFrameCorrupt, typ)
+		}
+		return err
+	}
+	var welcome welcomeMsg
+	if err := decodeGob(payload, &welcome); err != nil {
+		conn.Close()
+		return err
+	}
+	typ, payload, err = readFrame(conn)
+	if err != nil || typ != frameSnapshot {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("%w: expected snapshot after welcome, got frame %d", ErrFrameCorrupt, typ)
+		}
+		return err
+	}
+	snap, _, full, err := decodeSnapshotFrame(payload)
+	if err != nil || !full {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("%w: handshake snapshot not full-weight", ErrFrameCorrupt)
+		}
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+
+	if !a.initialized {
+		// The first handshake runs before the stepping goroutine exists, so
+		// these unsynchronized writes are safe; reconnects must not touch
+		// them (the welcome repeats the same values anyway).
+		a.initialized = true
+		a.id = welcome.ActorID
+		a.schedule = rl.Options{
+			EpsStart:      welcome.EpsStart,
+			EpsEnd:        welcome.EpsEnd,
+			EpsDecaySteps: welcome.EpsDecaySteps,
+		}
+		a.net.SetConfig(welcome.Config)
+		a.globalEnv.Store(welcome.EnvSteps)
+		// The handshake policy is the starting point; later ones are
+		// adopted only at episode boundaries.
+		if err := snap.Restore(a.net); err != nil {
+			conn.Close()
+			return err
+		}
+	} else {
+		// Reconnect mid-flight: stage the fresh policy like any other
+		// publish, to be installed at the next episode boundary.
+		a.pending.Store(&pendingPolicy{snap: snap, version: 0, full: true})
+		if welcome.EnvSteps > a.globalEnv.Load() {
+			a.globalEnv.Store(welcome.EnvSteps)
+		}
+	}
+
+	s := &session{conn: conn, dead: make(chan struct{})}
+	a.sess.Store(s)
+	a.connects.Add(1)
+	go a.readLoop(s)
+	return nil
+}
+
+// readLoop consumes learner frames on one session: heartbeats re-base the
+// global step estimate, snapshots stage for episode-boundary adoption. Any
+// error — timeout, truncation, corruption — kills the session; the
+// reconnect loop takes it from there.
+func (a *actor) readLoop(s *session) {
+	defer s.kill()
+	var lastVersion uint64
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(a.cfg.HeartbeatTimeout))
+		typ, payload, err := readFrame(s.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameHeartbeat:
+			if len(payload) == 8 {
+				g := int64(uint64(payload[0])<<56 | uint64(payload[1])<<48 |
+					uint64(payload[2])<<40 | uint64(payload[3])<<32 |
+					uint64(payload[4])<<24 | uint64(payload[5])<<16 |
+					uint64(payload[6])<<8 | uint64(payload[7]))
+				if g > a.globalEnv.Load() {
+					a.globalEnv.Store(g)
+				}
+			}
+		case frameSnapshot:
+			snap, version, full, err := decodeSnapshotFrame(payload)
+			if err != nil {
+				return // truncated/corrupt policy: the conn lost sync, drop it
+			}
+			if version >= lastVersion {
+				lastVersion = version
+				a.pending.Store(&pendingPolicy{snap: snap, version: version, full: full})
+			}
+		default:
+			return // the learner has no business sending anything else
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+func fastOpts(seed int64) rl.Options {
+	return rl.Options{Seed: seed, BatchSize: 2, EpsDecaySteps: 100, ReplayCapacity: 256}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := nn.NavNetSpec()
+	a := rl.NewAgent(spec, nn.L3, fastOpts(11))
+	shards := rl.NewReplayShards(2, 64)
+	shards.PushTo(0, rl.Transition{State: obsTensor(1), Action: 1, Reward: 1, Done: true})
+	shards.PushTo(1, rl.Transition{State: obsTensor(2), Action: 0, Reward: -1, Done: true})
+	a.Clock().Restore(37, 9)
+
+	cp := TakeCheckpoint(a, spec.Name, shards)
+	cp.Publishes = 3
+	cp.Slots = map[uint64]int{4: 0, 9: 1}
+	cp.NextActorID = 9
+	path := filepath.Join(t.TempDir(), "learner.ckpt")
+	size, err := cp.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatalf("checkpoint size %d", size)
+	}
+
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.EnvSteps != 37 || loaded.TrainSteps != 9 || loaded.Publishes != 3 {
+		t.Fatalf("loaded %+v", loaded)
+	}
+	if loaded.Slots[9] != 1 || loaded.NextActorID != 9 {
+		t.Fatalf("slots not preserved: %+v", loaded)
+	}
+
+	b := rl.NewAgent(spec, nn.L3, fastOpts(99)) // different weights
+	fresh := rl.NewReplayShards(2, 64)
+	if err := loaded.RestoreInto(b, spec.Name, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if b.Clock().EnvSteps() != 37 || b.Clock().TrainSteps() != 9 {
+		t.Fatalf("clock not restored: env=%d train=%d", b.Clock().EnvSteps(), b.Clock().TrainSteps())
+	}
+	wantA := nn.TakeSnapshot(a.Net, spec.Name)
+	gotB := nn.TakeSnapshot(b.Net, spec.Name)
+	for i := range wantA.Data {
+		for j := range wantA.Data[i] {
+			if wantA.Data[i][j] != gotB.Data[i][j] {
+				t.Fatalf("weight %d[%d] not restored", i, j)
+			}
+		}
+	}
+	// The restored shards must continue the push ordinals and round-robin
+	// cursor, so post-restart pushes cannot alias pre-crash entries.
+	cur, pushes := fresh.Cursors()
+	wantCur, wantPushes := shards.Cursors()
+	if cur != wantCur || len(pushes) != len(wantPushes) {
+		t.Fatalf("cursors %d/%v, want %d/%v", cur, pushes, wantCur, wantPushes)
+	}
+	for i := range pushes {
+		if pushes[i] != wantPushes[i] {
+			t.Fatalf("shard %d push ordinal %d, want %d", i, pushes[i], wantPushes[i])
+		}
+	}
+}
+
+func TestCheckpointMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v, want IsNotExist", err)
+	}
+
+	spec := nn.NavNetSpec()
+	a := rl.NewAgent(spec, nn.E2E, fastOpts(12))
+	cp := TakeCheckpoint(a, spec.Name, nil)
+	path := filepath.Join(dir, "learner.ckpt")
+	if _, err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A truncated file — what a non-atomic writer would leave after a crash
+	// — must report ErrCheckpointCorrupt, not restore garbage.
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(trunc, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(trunc); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("truncated checkpoint: %v, want ErrCheckpointCorrupt", err)
+	}
+	// Garbage bytes likewise.
+	junk := filepath.Join(dir, "junk.ckpt")
+	if err := os.WriteFile(junk, []byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(junk); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("junk checkpoint: %v, want ErrCheckpointCorrupt", err)
+	}
+	// Save never leaves temp litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "learner.ckpt" && e.Name() != "trunc.ckpt" && e.Name() != "junk.ckpt" {
+			t.Fatalf("stray file %q after Save", e.Name())
+		}
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	spec := nn.NavNetSpec()
+	a := rl.NewAgent(spec, nn.E2E, fastOpts(13))
+	cp := TakeCheckpoint(a, "SomeOtherNet", nil)
+	if err := cp.RestoreInto(a, spec.Name, nil); err == nil {
+		t.Fatal("restored checkpoint from a different architecture")
+	}
+}

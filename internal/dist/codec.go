@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+	"dronerl/internal/tensor"
+)
+
+// helloMsg opens a session. ActorID 0 asks for a fresh slot; a nonzero ID
+// reclaims the slot a previous connection of the same actor held, so its
+// replay shard keeps accumulating across reconnects.
+type helloMsg struct {
+	Proto   uint32
+	Arch    string
+	ActorID uint64
+}
+
+// welcomeMsg answers a hello: the assigned slot, the learner's global
+// env-step count (the actor's epsilon base), the exploration schedule and
+// the training topology (so the actor freezes the same prefix the learner
+// trains — trainable-region publishes then install cleanly).
+type welcomeMsg struct {
+	ActorID       uint64
+	EnvSteps      int64
+	EpsStart      float64
+	EpsEnd        float64
+	EpsDecaySteps int
+	Config        nn.Config
+	Resumed       bool
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// encodeSnapshotFrame builds a snapshot payload: a full/trainable flag, the
+// publish version, then the versioned nn.Snapshot gob (the same encoding the
+// serving daemon's hot reload and the drone's meta-model download use).
+func encodeSnapshotFrame(s *nn.Snapshot, version uint64, full bool) ([]byte, error) {
+	var buf bytes.Buffer
+	var flag byte
+	if full {
+		flag = 1
+	}
+	buf.WriteByte(flag)
+	var vb [8]byte
+	binary.BigEndian.PutUint64(vb[:], version)
+	buf.Write(vb[:])
+	if err := s.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshotFrame parses a snapshot payload. Truncated gobs surface the
+// distinct nn.ErrSnapshotTruncated through nn.ReadSnapshot — a dropped
+// connection mid-snapshot is a transport failure, never a zeroed network.
+func decodeSnapshotFrame(payload []byte) (s *nn.Snapshot, version uint64, full bool, err error) {
+	if len(payload) < 9 {
+		return nil, 0, false, fmt.Errorf("%w: snapshot frame of %d bytes", ErrFrameCorrupt, len(payload))
+	}
+	full = payload[0] == 1
+	version = binary.BigEndian.Uint64(payload[1:9])
+	s, err = nn.ReadSnapshot(bytes.NewReader(payload[9:]))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return s, version, full, nil
+}
+
+// Experience is one environment step as it travels the wire: the replay
+// transition plus the flight distance the learner's tracker wants. Boundary
+// features are never sent — the learner's TrainStep recomputes missing
+// features bit-identically, so the wire stays compact.
+type Experience struct {
+	T    rl.Transition
+	Dist float64
+}
+
+// Transition batch encoding, little-endian:
+//
+//	u16 count | u8 ndims | u32 dim... (shared observation shape)
+//	per transition:
+//	  u8 flags (bit0 done, bit1 has-next) | u16 action | f64 reward |
+//	  f64 flight-distance | f32*n state | [f32*n next]
+//
+// The shape header is shared because one actor's camera never changes shape
+// mid-run; integrity is the enclosing frame's CRC.
+const (
+	expFlagDone    = 1 << 0
+	expFlagHasNext = 1 << 1
+)
+
+// encodeExperience packs a batch into a frameTransitions payload.
+func encodeExperience(batch []Experience) ([]byte, error) {
+	if len(batch) == 0 || len(batch) > math.MaxUint16 {
+		return nil, fmt.Errorf("dist: experience batch of %d (want 1..%d)", len(batch), math.MaxUint16)
+	}
+	shape := batch[0].T.State.Shape()
+	n := batch[0].T.State.Len()
+	size := 2 + 1 + 4*len(shape)
+	for _, e := range batch {
+		size += 1 + 2 + 8 + 8 + 4*n
+		if e.T.Next != nil {
+			size += 4 * n
+		}
+	}
+	out := make([]byte, 0, size)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(batch)))
+	out = append(out, scratch[:2]...)
+	out = append(out, byte(len(shape)))
+	for _, d := range shape {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(d))
+		out = append(out, scratch[:4]...)
+	}
+	for _, e := range batch {
+		if e.T.State.Len() != n {
+			return nil, fmt.Errorf("dist: experience batch mixes observation shapes")
+		}
+		var flags byte
+		if e.T.Done {
+			flags |= expFlagDone
+		}
+		if e.T.Next != nil {
+			flags |= expFlagHasNext
+			if e.T.Next.Len() != n {
+				return nil, fmt.Errorf("dist: experience batch mixes observation shapes")
+			}
+		} else if !e.T.Done {
+			return nil, fmt.Errorf("dist: experience has nil Next but Done is false")
+		}
+		if e.T.Action < 0 || e.T.Action > math.MaxUint16 {
+			return nil, fmt.Errorf("dist: action %d out of wire range", e.T.Action)
+		}
+		out = append(out, flags)
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(e.T.Action))
+		out = append(out, scratch[:2]...)
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(e.T.Reward))
+		out = append(out, scratch[:]...)
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(e.Dist))
+		out = append(out, scratch[:]...)
+		out = appendF32(out, e.T.State.Data())
+		if e.T.Next != nil {
+			out = appendF32(out, e.T.Next.Data())
+		}
+	}
+	return out, nil
+}
+
+func appendF32(dst []byte, src []float32) []byte {
+	var b [4]byte
+	for _, v := range src {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// decodeExperience unpacks a frameTransitions payload. Every structural
+// inconsistency — short payload, absurd shape, trailing garbage — reports
+// ErrFrameCorrupt; the frame CRC already caught bit flips, so a failure
+// here means the peer speaks a different dialect.
+func decodeExperience(payload []byte) ([]Experience, error) {
+	p := payload
+	take := func(n int) ([]byte, error) {
+		if len(p) < n {
+			return nil, fmt.Errorf("%w: experience payload short by %d bytes", ErrFrameCorrupt, n-len(p))
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, nil
+	}
+	b, err := take(3)
+	if err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint16(b[:2]))
+	ndims := int(b[2])
+	if count == 0 || ndims == 0 || ndims > 8 {
+		return nil, fmt.Errorf("%w: experience batch count %d ndims %d", ErrFrameCorrupt, count, ndims)
+	}
+	shape := make([]int, ndims)
+	n := 1
+	for i := range shape {
+		if b, err = take(4); err != nil {
+			return nil, err
+		}
+		d := int(binary.LittleEndian.Uint32(b))
+		if d <= 0 || d > 1<<20 {
+			return nil, fmt.Errorf("%w: experience dim %d", ErrFrameCorrupt, d)
+		}
+		shape[i] = d
+		n *= d
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: experience observation of %d values", ErrFrameCorrupt, n)
+	}
+	out := make([]Experience, 0, count)
+	for i := 0; i < count; i++ {
+		if b, err = take(1 + 2 + 8 + 8); err != nil {
+			return nil, err
+		}
+		flags := b[0]
+		e := Experience{T: rl.Transition{
+			Action: int(binary.LittleEndian.Uint16(b[1:3])),
+			Reward: math.Float64frombits(binary.LittleEndian.Uint64(b[3:11])),
+			Done:   flags&expFlagDone != 0,
+		}}
+		e.Dist = math.Float64frombits(binary.LittleEndian.Uint64(b[11:19]))
+		if b, err = take(4 * n); err != nil {
+			return nil, err
+		}
+		e.T.State = tensorFromBytes(b, shape)
+		if flags&expFlagHasNext != 0 {
+			if b, err = take(4 * n); err != nil {
+				return nil, err
+			}
+			e.T.Next = tensorFromBytes(b, shape)
+		} else if !e.T.Done {
+			return nil, fmt.Errorf("%w: live experience without next state", ErrFrameCorrupt)
+		}
+		out = append(out, e)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after experience batch", ErrFrameCorrupt, len(p))
+	}
+	return out, nil
+}
+
+func tensorFromBytes(b []byte, shape []int) *tensor.Tensor {
+	data := make([]float32, len(b)/4)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return tensor.FromSlice(data, shape...)
+}
+
+// installTrainable writes a trainable-region snapshot (a PolicyBoard-style
+// publish that travelled the wire) into net's trainable parameters, matched
+// by name and size exactly like nn.PolicyBoard.Adopt.
+func installTrainable(net *nn.Network, s *nn.Snapshot) error {
+	ps := net.TrainableParams()
+	if len(ps) != len(s.Names) {
+		return fmt.Errorf("dist: policy has %d trainable params, network has %d", len(s.Names), len(ps))
+	}
+	for i, p := range ps {
+		if p.Name != s.Names[i] {
+			return fmt.Errorf("dist: policy param %d is %q, network expects %q", i, s.Names[i], p.Name)
+		}
+		if len(s.Data[i]) != p.W.Len() {
+			return fmt.Errorf("dist: policy param %q has %d values, want %d", p.Name, len(s.Data[i]), p.W.Len())
+		}
+		copy(p.W.Data(), s.Data[i])
+	}
+	return nil
+}

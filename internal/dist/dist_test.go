@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dronerl/internal/dist/chaos"
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+// testFleet bundles the common scaffolding of the integration tests: a
+// learner on a loopback listener and helpers to run actors against it.
+type testFleet struct {
+	spec  nn.ArchSpec
+	cfg   nn.Config
+	agent *rl.Agent
+	ln    net.Listener
+	addr  string
+}
+
+func newFleet(t *testing.T, seed int64, cfg nn.Config) *testFleet {
+	t.Helper()
+	spec := nn.NavNetSpec()
+	opts := fastOpts(seed)
+	opts.SyncEvery = 4
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testFleet{
+		spec:  spec,
+		cfg:   cfg,
+		agent: rl.NewAgent(spec, cfg, opts),
+		ln:    ln,
+		addr:  ln.Addr().String(),
+	}
+}
+
+func (f *testFleet) actorConfig(seed int64, steps int) ActorConfig {
+	return ActorConfig{
+		Addr:           f.addr,
+		Spec:           f.spec,
+		World:          env.IndoorApartment(seed),
+		Steps:          steps,
+		Seed:           seed,
+		BackoffMin:     10 * time.Millisecond,
+		BackoffMax:     200 * time.Millisecond,
+		HeartbeatEvery: 25 * time.Millisecond,
+		DrainTimeout:   3 * time.Second,
+	}
+}
+
+// TestDistributedRunTrains is the happy path: two remote actors feed a
+// learner over loopback TCP; every transition arrives, the learner trains
+// and publishes, the actors adopt.
+func TestDistributedRunTrains(t *testing.T) {
+	f := newFleet(t, 61, nn.L3)
+	learner, err := NewLearner(LearnerConfig{
+		Agent: f.agent, Spec: f.spec, Cfg: f.cfg, Listener: f.ln,
+		ActorSlots: 2, TotalSteps: 240, TrainEvery: 4, SyncEvery: 4,
+		HeartbeatEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	learnerCh := make(chan LearnerStats, 1)
+	learnerErr := make(chan error, 1)
+	go func() {
+		st, err := learner.Run(ctx)
+		learnerCh <- st
+		learnerErr <- err
+	}()
+
+	type actorOut struct {
+		st  ActorStats
+		err error
+	}
+	outs := make(chan actorOut, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			st, err := RunActor(ctx, f.actorConfig(62+int64(i), 120))
+			outs <- actorOut{st, err}
+		}(i)
+	}
+
+	ids := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		out := <-outs
+		if out.err != nil {
+			t.Errorf("actor: %v", out.err)
+		}
+		if out.st.Steps != 120 || out.st.Sent != 120 || out.st.Undelivered != 0 || out.st.Dropped != 0 {
+			t.Errorf("actor stats %+v, want 120 steps all delivered", out.st)
+		}
+		if out.st.Connects != 1 {
+			t.Errorf("actor connected %d times on a clean link", out.st.Connects)
+		}
+		ids[out.st.ActorID] = true
+	}
+	if len(ids) != 2 {
+		t.Errorf("actors shared an ID: %v", ids)
+	}
+
+	st := <-learnerCh
+	if err := <-learnerErr; err != nil {
+		t.Fatalf("learner: %v", err)
+	}
+	if st.EnvSteps != 240 {
+		t.Errorf("learner received %d env steps, want 240", st.EnvSteps)
+	}
+	if st.TrainSteps < 40 {
+		t.Errorf("learner trained %d steps, want >= 40", st.TrainSteps)
+	}
+	if st.Publishes < 1 {
+		t.Errorf("learner published %d policies, want >= 1", st.Publishes)
+	}
+	if st.Connects != 2 || st.Resumes != 0 {
+		t.Errorf("learner sessions %+v, want 2 fresh connects", st)
+	}
+}
+
+// TestDistActorKillRestart kills an actor mid-run (twice) and restarts it
+// with its assigned ID: each restart must reclaim the same shard slot and
+// the learner must finish cleanly on the experience that survived.
+func TestDistActorKillRestart(t *testing.T) {
+	f := newFleet(t, 71, nn.L3)
+	learner, err := NewLearner(LearnerConfig{
+		Agent: f.agent, Spec: f.spec, Cfg: f.cfg, Listener: f.ln,
+		ActorSlots: 1, TotalSteps: 2000, TrainEvery: 4, SyncEvery: 4,
+		HeartbeatEvery: 25 * time.Millisecond, HeartbeatTimeout: 500 * time.Millisecond,
+		IdleTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	learnerCh := make(chan LearnerStats, 1)
+	learnerErr := make(chan error, 1)
+	go func() {
+		st, err := learner.Run(ctx)
+		learnerCh <- st
+		learnerErr <- err
+	}()
+
+	var id uint64
+	remaining := 2000
+	restarts := 0
+	task := func(runCtx context.Context) error {
+		if remaining <= 0 {
+			return nil
+		}
+		cfg := f.actorConfig(72+int64(restarts), remaining)
+		cfg.ActorID = id
+		restarts++
+		st, err := RunActor(runCtx, cfg)
+		remaining -= st.Steps
+		if st.ActorID != 0 {
+			id = st.ActorID
+		}
+		if remaining <= 0 {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("actor stopped with %d steps left", remaining)
+		}
+		return err
+	}
+	if err := chaos.Supervise(ctx, 2, 150*time.Millisecond, 350*time.Millisecond, 73, task); err != nil {
+		t.Fatalf("supervised actor: %v", err)
+	}
+
+	st := <-learnerCh
+	if err := <-learnerErr; err != nil {
+		t.Fatalf("learner: %v", err)
+	}
+	if st.TrainSteps < 1 {
+		t.Errorf("learner trained %d steps after actor restarts", st.TrainSteps)
+	}
+	if st.EnvSteps < 100 {
+		t.Errorf("learner received only %d env steps across restarts", st.EnvSteps)
+	}
+	if restarts < 2 {
+		t.Errorf("supervisor ran the actor %d times, expected kills", restarts)
+	}
+}
+
+// TestDistLearnerCrashResume crashes the learner mid-run and restarts it
+// from its checkpoint on the same address: the actors reconnect on their
+// own, reclaim their slots, and the resumed learner continues training from
+// the checkpointed clock and replay cursors.
+func TestDistLearnerCrashResume(t *testing.T) {
+	f := newFleet(t, 81, nn.L3)
+	ckpt := filepath.Join(t.TempDir(), "learner.ckpt")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	learner1, err := NewLearner(LearnerConfig{
+		Agent: f.agent, Spec: f.spec, Cfg: f.cfg, Listener: f.ln,
+		ActorSlots: 2, TotalSteps: 2400, TrainEvery: 4, SyncEvery: 4,
+		HeartbeatEvery: 25 * time.Millisecond,
+		CheckpointPath: ckpt, CheckpointEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1ctx, l1cancel := context.WithCancel(ctx)
+	l1done := make(chan error, 1)
+	go func() {
+		_, err := learner1.Run(l1ctx)
+		l1done <- err
+	}()
+
+	type actorOut struct {
+		st  ActorStats
+		err error
+	}
+	outs := make(chan actorOut, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cfg := f.actorConfig(82+int64(i), 1200)
+			cfg.HeartbeatTimeout = 500 * time.Millisecond
+			cfg.DrainTimeout = 10 * time.Second
+			st, err := RunActor(ctx, cfg)
+			outs <- actorOut{st, err}
+		}(i)
+	}
+
+	// Wait for a checkpoint that has seen both actors and real training,
+	// then crash the learner.
+	var cp *Checkpoint
+	for {
+		c, err := LoadCheckpoint(ckpt)
+		if err == nil && c.TrainSteps >= 8 && len(c.Slots) == 2 {
+			cp = c
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("no usable checkpoint before timeout (last: %+v, %v)", c, err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	l1cancel()
+	if err := <-l1done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed learner reported %v, want context.Canceled", err)
+	}
+
+	// Resume: fresh process state, same address, checkpointed everything.
+	cp, err = LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(999) // deliberately different seed: weights must come from the checkpoint
+	opts.SyncEvery = 4
+	agent2 := rl.NewAgent(f.spec, f.cfg, opts)
+	learner2, err := NewLearner(LearnerConfig{
+		Agent: agent2, Spec: f.spec, Cfg: f.cfg, Listener: ln2,
+		ActorSlots: 2, TotalSteps: 2400 - int(cp.EnvSteps), TrainEvery: 4, SyncEvery: 4,
+		HeartbeatEvery: 25 * time.Millisecond,
+		CheckpointPath: ckpt, CheckpointEvery: 8,
+		Resume: cp,
+		// Safety valve: if a departure is lost in the crash window, a
+		// silent fleet still ends the run.
+		IdleTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agent2.Clock().EnvSteps() != cp.EnvSteps || agent2.Clock().TrainSteps() != cp.TrainSteps {
+		t.Fatalf("resume did not restore the clock: env=%d train=%d, want %d/%d",
+			agent2.Clock().EnvSteps(), agent2.Clock().TrainSteps(), cp.EnvSteps, cp.TrainSteps)
+	}
+	restored := nn.TakeSnapshot(agent2.Net, f.spec.Name)
+	for i := range cp.Net.Data {
+		if !bytes.Equal(f32bytes(restored.Data[i]), f32bytes(cp.Net.Data[i])) {
+			t.Fatalf("resume did not restore weights of param %d", i)
+		}
+	}
+
+	st2, err := learner2.Run(ctx)
+	if err != nil {
+		t.Fatalf("resumed learner: %v (stats %+v)", err, st2)
+	}
+	for i := 0; i < 2; i++ {
+		out := <-outs
+		if out.err != nil {
+			t.Errorf("actor: %v", out.err)
+		}
+		if out.st.Connects < 2 {
+			t.Errorf("actor survived a learner crash with %d connects, want >= 2", out.st.Connects)
+		}
+	}
+	if st2.Resumes < 2 {
+		t.Errorf("resumed learner re-admitted %d actors by ID, want 2", st2.Resumes)
+	}
+	if st2.TrainSteps < 1 {
+		t.Errorf("resumed learner trained %d steps", st2.TrainSteps)
+	}
+	if got := agent2.Clock().TrainSteps(); got <= cp.TrainSteps {
+		t.Errorf("cumulative train steps %d did not advance past checkpoint %d", got, cp.TrainSteps)
+	}
+}
+
+// TestDistChaosLinks runs the fleet over links that randomly die mid-frame
+// and delay every operation. The run must keep making progress through the
+// reconnect storm and never corrupt a transition (a corrupt frame entering
+// a shard would panic TrainStep on malformed shapes; the CRC + structural
+// checks drop the connection instead).
+func TestDistChaosLinks(t *testing.T) {
+	f := newFleet(t, 91, nn.L3)
+
+	// Size the per-connection byte budgets off the handshake snapshot so a
+	// connection can complete its handshake and then die a few frames in.
+	snapPayload, err := encodeSnapshotFrame(nn.TakeSnapshot(f.agent.Net, f.spec.Name), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(len(snapPayload))
+	faults := chaos.Config{
+		Seed:         92,
+		MinConnBytes: budget + 64<<10,
+		MaxConnBytes: budget + 256<<10,
+		MaxDelay:     500 * time.Microsecond,
+	}
+
+	learner, err := NewLearner(LearnerConfig{
+		Agent: f.agent, Spec: f.spec, Cfg: f.cfg, Listener: f.ln,
+		ActorSlots: 2, TotalSteps: 300, TrainEvery: 4, SyncEvery: 4,
+		HeartbeatEvery: 25 * time.Millisecond, HeartbeatTimeout: 500 * time.Millisecond,
+		IdleTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The learner gets its own deadline: if every actor's bye is lost to
+	// the chaos, fleet departure never fires and the deadline is the
+	// legitimate way out.
+	lctx, lcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer lcancel()
+	learnerCh := make(chan LearnerStats, 1)
+	learnerErr := make(chan error, 1)
+	go func() {
+		st, err := learner.Run(lctx)
+		learnerCh <- st
+		learnerErr <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	type actorOut struct {
+		st  ActorStats
+		err error
+	}
+	outs := make(chan actorOut, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cfg := f.actorConfig(93+int64(i), 150)
+			cfg.HeartbeatTimeout = 500 * time.Millisecond
+			cfg.DrainTimeout = 2 * time.Second
+			cfg.Dial = chaos.Dialer("tcp", f.addr, faults)
+			st, err := RunActor(ctx, cfg)
+			outs <- actorOut{st, err}
+		}(i)
+	}
+
+	reconnects := 0
+	for i := 0; i < 2; i++ {
+		out := <-outs
+		if out.err != nil {
+			t.Errorf("actor under chaos: %v", out.err)
+		}
+		if out.st.Steps != 150 {
+			t.Errorf("actor flew %d steps under chaos, want 150 (flying never stops)", out.st.Steps)
+		}
+		reconnects += out.st.Connects
+	}
+	if reconnects <= 2 {
+		t.Errorf("fleet connected %d times total; chaos should force reconnects", reconnects)
+	}
+
+	lcancel()
+	st := <-learnerCh
+	if err := <-learnerErr; err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("learner under chaos: %v", err)
+	}
+	if st.EnvSteps < 50 {
+		t.Errorf("learner received only %d env steps through the chaos", st.EnvSteps)
+	}
+	if st.TrainSteps < 1 {
+		t.Errorf("learner never trained under chaos")
+	}
+	if st.Disconnects < 1 {
+		t.Errorf("chaos produced no disconnects (budgets too large?)")
+	}
+}

@@ -1,0 +1,149 @@
+// Package dist is the crash-tolerant distributed actor/learner pipeline:
+// the scale-out of the PR 5 in-process loop past one process (ROADMAP item
+// 2). Remote actors — separate goroutines, processes or machines — step
+// private worlds and stream their experience to a central learner over
+// TCP or unix sockets; the learner merges the streams into the existing
+// rl.ReplayShards deterministic interleave, trains on the batched TrainStep
+// path and broadcasts policy snapshots back through the same versioned
+// nn.Snapshot encoding the rest of the repo uses.
+//
+// The regime is the paper's: resource-constrained edge actors (drones)
+// feeding a central learner over an unreliable link (Anwar & Raychowdhury,
+// arXiv:1910.05547, make exactly this split for edge transfer learning).
+// Failure is therefore the design center, not an afterthought:
+//
+//   - Framing. Every message is a length-prefixed frame carrying a type
+//     byte, a payload and a CRC-32 of both. A dropped connection can only
+//     produce a short read (ErrFrameTruncated) or a checksum mismatch
+//     (ErrFrameCorrupt) — never a silently mis-parsed transition or a
+//     half-restored policy.
+//   - Actor resilience. Actors keep flying when the learner is unreachable:
+//     transitions buffer into a bounded local ring and replay on reconnect,
+//     and reconnection runs exponential backoff with jitter so a rebooting
+//     learner is not met by a thundering herd.
+//   - Learner resilience. The learner heartbeats every connection and drops
+//     the dead ones; training continues on the shards of the live actors. A
+//     periodic checkpoint (atomic write-rename, charged to the energy
+//     ledger as NVM writes — Roy et al.'s MRAM-scratchpad argument makes
+//     durable snapshots cheap on this hardware) captures weights, clock and
+//     replay cursors, and a restarted learner resumes from it with actors
+//     reconnecting on their own.
+//
+// internal/dist/chaos injects the failures the design claims to survive:
+// connections that drop, delay or truncate mid-frame, and harness helpers
+// that kill and restart whole actors or the learner mid-run. The package
+// tests run that harness under -race.
+//
+// With rl.Options.Remote == 0 none of this engages: online learning stays
+// the in-process rl.OnlineLoop, bit-identical to the single-process
+// pipeline.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types of the wire protocol.
+const (
+	// frameHello opens a session (actor → learner): protocol version,
+	// architecture name and the actor's previously assigned ID (0 = new).
+	frameHello byte = 1 + iota
+	// frameWelcome answers a hello (learner → actor): assigned actor ID,
+	// the learner's global env-step count and the exploration schedule.
+	frameWelcome
+	// frameSnapshot carries a policy (learner → actor): a full-weight
+	// snapshot right after welcome, trainable-region snapshots on every
+	// publish thereafter.
+	frameSnapshot
+	// frameTransitions carries a batch of compactly encoded transitions
+	// (actor → learner).
+	frameTransitions
+	// frameHeartbeat keeps an idle connection visibly alive in both
+	// directions; the learner's heartbeats carry the global env-step count
+	// so actors keep their epsilon schedule roughly synchronized.
+	frameHeartbeat
+	// frameBye announces a clean departure (actor → learner): the actor
+	// finished its share; its shard stays sampleable but no more experience
+	// is coming.
+	frameBye
+)
+
+// protoVersion is the wire-protocol revision. Hellos carrying any other
+// value are rejected at handshake so incompatible builds fail loudly
+// instead of mis-framing each other's streams.
+const protoVersion = 1
+
+// maxFrame bounds a single frame. The largest legitimate frame is a full
+// E2E policy snapshot (~tens of MB for the paper's network); 256 MB leaves
+// headroom while keeping a corrupted length prefix from allocating the
+// moon.
+const maxFrame = 256 << 20
+
+// Wire-protocol error sentinels. Both unwrap from every read-side failure
+// of the respective kind, so connection handlers can distinguish "the link
+// died mid-frame" (reconnect and retry) from "the peer sent garbage"
+// (drop the peer).
+var (
+	// ErrFrameTruncated marks a frame cut short by a dropped connection: a
+	// short read inside the header or payload.
+	ErrFrameTruncated = errors.New("dist: frame truncated")
+	// ErrFrameCorrupt marks a structurally invalid frame: CRC mismatch,
+	// unknown type, or an implausible length prefix.
+	ErrFrameCorrupt = errors.New("dist: frame corrupt")
+)
+
+// crcTable is the IEEE table shared by every frame checksum.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// writeFrame emits one frame: a 4-byte big-endian length (covering type +
+// payload + CRC), the type byte, the payload, and a CRC-32 of type and
+// payload. Writes go out in one buffer so a concurrent writer on the same
+// connection cannot interleave (callers still serialize writers per conn).
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	n := 1 + len(payload) + 4
+	if n > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrameCorrupt, n, maxFrame)
+	}
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(n))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	crc := crc32.Checksum(buf[4:4+1+len(payload)], crcTable)
+	binary.BigEndian.PutUint32(buf[len(buf)-4:], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, verifying length plausibility and the CRC.
+// Truncation (connection dropped mid-frame) surfaces as ErrFrameTruncated;
+// corruption as ErrFrameCorrupt; a clean EOF between frames as io.EOF.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: reading header: %v", ErrFrameTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 5 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: implausible frame length %d", ErrFrameCorrupt, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading body: %v", ErrFrameTruncated, err)
+	}
+	want := binary.BigEndian.Uint32(body[n-4:])
+	if got := crc32.Checksum(body[:n-4], crcTable); got != want {
+		return 0, nil, fmt.Errorf("%w: CRC %08x, want %08x", ErrFrameCorrupt, got, want)
+	}
+	typ = body[0]
+	if typ < frameHello || typ > frameBye {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrFrameCorrupt, typ)
+	}
+	return typ, body[1 : n-4], nil
+}

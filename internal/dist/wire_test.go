@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+	"dronerl/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{7}, 1000)}
+	types := []byte{frameHello, frameWelcome, frameSnapshot, frameTransitions, frameHeartbeat, frameBye}
+	for i, typ := range types {
+		p := payloads[i%len(payloads)]
+		if err := writeFrame(&buf, typ, p); err != nil {
+			t.Fatalf("writeFrame(%d): %v", typ, err)
+		}
+	}
+	for i, want := range types {
+		typ, payload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame %d: %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, want)
+		}
+		if wantP := payloads[i%len(payloads)]; !bytes.Equal(payload, wantP) {
+			t.Fatalf("frame %d: payload %v, want %v", i, payload, wantP)
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncation cuts a valid frame at every possible byte offset: the
+// reader must report ErrFrameTruncated each time (io.EOF only on the empty
+// stream), never a mis-parse.
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameTransitions, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := readFrame(bytes.NewReader(whole[:cut]))
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d: %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+	if _, _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCorruption flips every byte of a valid frame in turn: the reader
+// must reject each mutant (corrupt, truncated when the flipped length now
+// promises more bytes than exist, or — if the length shrank — a corrupt
+// first frame; never a silent success with wrong bytes).
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameSnapshot, []byte("precious weights")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for i := range whole {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0x40
+		typ, payload, err := readFrame(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at %d: parsed type %d payload %q from corrupt frame", i, typ, payload)
+		}
+		if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("flip at %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Implausibly small and large length prefixes must be rejected before
+	// any allocation.
+	for _, hdr := range [][]byte{
+		{0, 0, 0, 0},
+		{0, 0, 0, 4},
+		{0xff, 0xff, 0xff, 0xff},
+	} {
+		if _, _, err := readFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("header %v: %v, want ErrFrameCorrupt", hdr, err)
+		}
+	}
+}
+
+func obsTensor(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, 2*5*5)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	return tensor.FromSlice(data, 2, 5, 5)
+}
+
+func TestExperienceCodecRoundTrip(t *testing.T) {
+	batch := []Experience{
+		{T: rl.Transition{State: obsTensor(1), Action: 2, Reward: -0.25, Next: obsTensor(2)}, Dist: 1.5},
+		{T: rl.Transition{State: obsTensor(3), Action: 0, Reward: 1.0, Done: true}, Dist: 0},
+		{T: rl.Transition{State: obsTensor(4), Action: 6, Reward: -1, Next: obsTensor(5), Done: true}, Dist: 7.25},
+	}
+	payload, err := encodeExperience(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeExperience(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d transitions, want %d", len(got), len(batch))
+	}
+	for i, e := range got {
+		want := batch[i]
+		if e.T.Action != want.T.Action || e.T.Reward != want.T.Reward ||
+			e.T.Done != want.T.Done || e.Dist != want.Dist {
+			t.Fatalf("transition %d: %+v, want %+v", i, e, want)
+		}
+		if !bytes.Equal(f32bytes(e.T.State.Data()), f32bytes(want.T.State.Data())) {
+			t.Fatalf("transition %d: state mismatch", i)
+		}
+		if (e.T.Next == nil) != (want.T.Next == nil) {
+			t.Fatalf("transition %d: next presence mismatch", i)
+		}
+		if e.T.Next != nil && !bytes.Equal(f32bytes(e.T.Next.Data()), f32bytes(want.T.Next.Data())) {
+			t.Fatalf("transition %d: next mismatch", i)
+		}
+	}
+}
+
+func f32bytes(v []float32) []byte {
+	out := make([]byte, 0, 4*len(v))
+	return appendF32(out, v)
+}
+
+func TestExperienceCodecRejectsDamage(t *testing.T) {
+	batch := []Experience{
+		{T: rl.Transition{State: obsTensor(6), Action: 1, Reward: 0.5, Next: obsTensor(7)}, Dist: 2},
+	}
+	payload, err := encodeExperience(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every offset and trailing garbage must all fail with
+	// ErrFrameCorrupt — the CRC layer already passed, so structural checks
+	// are the last line against a dialect mismatch.
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeExperience(payload[:cut]); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("cut at %d: %v, want ErrFrameCorrupt", cut, err)
+		}
+	}
+	if _, err := decodeExperience(append(append([]byte(nil), payload...), 0xEE)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("trailing byte: %v, want ErrFrameCorrupt", err)
+	}
+	// A live transition without a next state must not encode.
+	if _, err := encodeExperience([]Experience{{T: rl.Transition{State: obsTensor(8)}}}); err == nil {
+		t.Fatal("encoded live transition with nil Next")
+	}
+}
+
+// TestSnapshotFrameTruncated proves a policy snapshot cut off mid-stream
+// surfaces the shared nn.ErrSnapshotTruncated sentinel, the same error the
+// serving daemon's hot reload reports — never a partial network.
+func TestSnapshotFrameTruncated(t *testing.T) {
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(9)))
+	snap := nn.TakeSnapshot(net, spec.Name)
+	payload, err := encodeSnapshotFrame(snap, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, version, full, err := decodeSnapshotFrame(payload)
+	if err != nil || version != 3 || !full {
+		t.Fatalf("round trip: snap=%v version=%d full=%v err=%v", got != nil, version, full, err)
+	}
+	if _, _, _, err := decodeSnapshotFrame(payload[:len(payload)/2]); !errors.Is(err, nn.ErrSnapshotTruncated) {
+		t.Fatalf("truncated snapshot: %v, want nn.ErrSnapshotTruncated", err)
+	}
+	if _, _, _, err := decodeSnapshotFrame(payload[:4]); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("header-short snapshot: %v, want ErrFrameCorrupt", err)
+	}
+}

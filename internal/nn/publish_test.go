@@ -144,3 +144,80 @@ func TestPolicyBoardConcurrent(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestPolicyBoardConcurrentPublishers hammers one board from SEVERAL
+// publishers at once — the shape of the distributed learner's publish path
+// racing a serving daemon's hot reload. Each publisher stamps every
+// trainable weight with its own tag (publisher*1000 + round), so a torn
+// publish or torn adoption shows up as mixed tags. Invariants: adopted
+// versions move strictly forward per adopter, every adopted weight set
+// carries exactly one tag, and the version counter ends at exactly the
+// number of publishes issued.
+func TestPolicyBoardConcurrentPublishers(t *testing.T) {
+	const (
+		publishers       = 4
+		roundsPerPublish = 50
+	)
+	b := NewPolicyBoard()
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pub, _ := buildTestNets(t, L3)
+			for round := 0; round < roundsPerPublish; round++ {
+				tag := float32(1000*(p+1) + round)
+				for _, param := range pub.TrainableParams() {
+					d := param.W.Data()
+					for i := range d {
+						d[i] = tag
+					}
+				}
+				b.Publish(pub, "NavNet")
+			}
+		}(p)
+	}
+
+	var adopters sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		adopters.Add(1)
+		go func() {
+			defer adopters.Done()
+			_, sub := buildTestNets(t, L3)
+			var last uint64
+			for k := 0; k < 200; k++ {
+				v, changed, err := b.Adopt(sub, last)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v < last {
+					t.Errorf("version moved backwards: %d after %d", v, last)
+					return
+				}
+				last = v
+				if !changed {
+					continue
+				}
+				var tag float32
+				first := true
+				for _, param := range sub.TrainableParams() {
+					for _, x := range param.W.Data() {
+						if first {
+							tag, first = x, false
+						} else if x != tag {
+							t.Error("adopted a policy with mixed publisher tags (torn publish)")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	adopters.Wait()
+	wg.Wait()
+
+	if got, want := b.Version(), uint64(publishers*roundsPerPublish); got != want {
+		t.Errorf("board version %d after %d publishes", got, want)
+	}
+}

@@ -2,9 +2,21 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 )
+
+// ErrSnapshotTruncated marks a snapshot stream that ended before a complete
+// gob message: a dropped connection mid-transfer, a partially written file,
+// or a short read. It is distinct from a corrupt-but-complete stream so
+// callers on flaky links (the serving daemon's hot reload, the distributed
+// pipeline's wire protocol) can treat it as a retryable transport failure
+// rather than a poisoned artifact. ReadSnapshot wraps it; no partial state
+// ever escapes — the caller gets a nil snapshot, never a silently
+// zero-weighted network.
+var ErrSnapshotTruncated = errors.New("nn: snapshot stream truncated")
 
 // SnapshotVersion is the serialization layout this build writes and reads.
 // ReadSnapshot rejects any other version so a future layout change fails
@@ -76,6 +88,13 @@ func (s *Snapshot) Encode(w io.Writer) error {
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		// gob reports a stream that ends mid-message as io.ErrUnexpectedEOF
+		// (an empty stream as io.EOF); some readers in between re-wrap the
+		// sentinel into a plain string, so match the message too.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			strings.Contains(err.Error(), "unexpected EOF") {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotTruncated, err)
+		}
 		return nil, fmt.Errorf("nn: decoding snapshot: %w", err)
 	}
 	if s.Version != SnapshotVersion {

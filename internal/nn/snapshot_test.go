@@ -3,6 +3,7 @@ package nn
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"io"
 	"math/rand"
 	"strings"
@@ -78,6 +79,47 @@ func TestReadSnapshotRejectsWrongVersion(t *testing.T) {
 		} else if !strings.Contains(err.Error(), "version") {
 			t.Errorf("version error should mention versions: %v", err)
 		}
+	}
+}
+
+// TestReadSnapshotTruncated asserts that a stream cut mid-message — the
+// shape of a dropped connection or a partially written file — surfaces the
+// retryable ErrSnapshotTruncated sentinel via errors.Is, at every cut point
+// class: empty stream, mid-header, and mid-payload. A corrupt-but-complete
+// stream must NOT match the sentinel, so transport-retry loops never chew
+// on a poisoned artifact.
+func TestReadSnapshotTruncated(t *testing.T) {
+	snap := TakeSnapshot(snapshotNet(t, 7), "NavNet")
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	for _, cut := range []int{0, 3, len(whole) / 2, len(whole) - 1} {
+		_, err := ReadSnapshot(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("ReadSnapshot accepted a stream cut at %d/%d bytes", cut, len(whole))
+		}
+		if !errors.Is(err, ErrSnapshotTruncated) {
+			t.Errorf("cut at %d: err = %v, want errors.Is(err, ErrSnapshotTruncated)", cut, err)
+		}
+	}
+
+	// A complete stream of the wrong shape: corrupt, not truncated.
+	var wrong bytes.Buffer
+	if err := gob.NewEncoder(&wrong).Encode("not a snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&wrong); err == nil {
+		t.Error("ReadSnapshot accepted a foreign gob stream")
+	} else if errors.Is(err, ErrSnapshotTruncated) {
+		t.Errorf("corrupt-but-complete stream misreported as truncated: %v", err)
+	}
+
+	// The sentinel survives a full round trip: an uncut stream still reads.
+	if _, err := ReadSnapshot(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("uncut stream failed to read: %v", err)
 	}
 }
 

@@ -59,6 +59,19 @@ func (c *Clock) WaitEnv(at int64, giveUp func() bool) {
 	}
 }
 
+// Restore sets both counters to absolute values, waking any waiters. It is
+// the checkpoint-resume entry point: a learner restarting from a durable
+// checkpoint restores the clock to the checkpointed step counts so the
+// epsilon schedule, target-sync cadence and train-step due-dates continue
+// where the crashed run left off instead of rewinding to zero.
+func (c *Clock) Restore(envSteps, trainSteps int64) {
+	c.env.Store(envSteps)
+	c.train.Store(trainSteps)
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
 // Wake wakes every WaitEnv waiter so it can re-check its give-up condition.
 func (c *Clock) Wake() {
 	c.mu.Lock()

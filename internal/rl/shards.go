@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -98,6 +99,43 @@ func (s *ReplayShards) Len() int {
 		s.mus[i].Unlock()
 	}
 	return total
+}
+
+// Cursors returns the sampling cursor and a copy of the per-shard lifetime
+// push counts — the replay-interleave state a resumable checkpoint persists.
+// Restoring them into a fresh ReplayShards (RestoreCursors) makes the
+// restarted learner's round-robin shard walk continue where the checkpointed
+// one stopped, and keeps push ordinals monotonic across the restart so a
+// stale SetNextFeat ordinal from before the crash can never alias a
+// post-restart entry.
+func (s *ReplayShards) Cursors() (cursor int, pushes []int64) {
+	out := make([]int64, len(s.shards))
+	for i := range s.shards {
+		s.mus[i].Lock()
+		out[i] = s.pushes[i]
+		s.mus[i].Unlock()
+	}
+	return s.cursor, out
+}
+
+// RestoreCursors installs checkpointed interleave state taken by Cursors.
+// The shard count must match the checkpointed one; the shards themselves
+// start empty (replay contents are not durable — actors refill them on
+// reconnect) but the walk order and ordinals carry over.
+func (s *ReplayShards) RestoreCursors(cursor int, pushes []int64) error {
+	if len(pushes) != len(s.shards) {
+		return fmt.Errorf("rl: checkpoint has %d replay shards, store has %d", len(pushes), len(s.shards))
+	}
+	if cursor < 0 || cursor > len(s.shards) {
+		return fmt.Errorf("rl: checkpoint replay cursor %d out of range [0, %d]", cursor, len(s.shards))
+	}
+	for i := range s.shards {
+		s.mus[i].Lock()
+		s.pushes[i] = pushes[i]
+		s.mus[i].Unlock()
+	}
+	s.cursor = cursor
+	return nil
 }
 
 // SampleInto draws n transitions, appending to dst and returning the result.

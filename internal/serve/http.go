@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"time"
@@ -51,8 +50,8 @@ func (s *Server) handleAct(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Obs []float32 `json:"obs"`
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxActBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxActBody)).Decode(&req); err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	rep, err := s.Infer(r.Context(), req.Obs)
@@ -75,9 +74,14 @@ func (s *Server) handleAct(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePolicyPost(w http.ResponseWriter, r *http.Request) {
-	snap, err := nn.ReadSnapshot(io.LimitReader(r.Body, maxSnapshotBody))
+	snap, err := nn.ReadSnapshot(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// A snapshot cut off mid-stream (a client that died mid-upload)
+		// surfaces nn.ErrSnapshotTruncated — the same sentinel the
+		// distributed wire protocol reports — and stays a 400: the bytes
+		// that arrived are useless. An over-limit body is the client's
+		// fault in a different way: 413.
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	v, err := s.Reload(snap)
@@ -88,6 +92,17 @@ func (s *Server) handlePolicyPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"policy_version": v})
+}
+
+// bodyErrStatus distinguishes a request body the server refused to read
+// further (413, from http.MaxBytesReader) from one that was malformed or
+// truncated (400).
+func bodyErrStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -106,7 +121,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // before Serve returns. Returns nil on a clean ctx-driven shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.Start()
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// A client that connects and never finishes its headers, or an
+		// idle keep-alive connection, must not hold a socket forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

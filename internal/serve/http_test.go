@@ -217,3 +217,50 @@ func TestHTTPBackpressure(t *testing.T) {
 	}
 	s.Start() // drain the parked request before Close
 }
+
+// TestHTTPBodyLimits exercises the request-body hardening: an /v1/act body
+// past the size cap draws 413 (not a hung read or a misleading 400), and a
+// policy snapshot truncated mid-upload draws 400 with the shared
+// nn.ErrSnapshotTruncated diagnosis — never a partial install.
+func TestHTTPBodyLimits(t *testing.T) {
+	snap, _ := freshPolicy(t, 90)
+	s, base, stop := startHTTP(t, Config{Snapshot: snap, Workers: 1, MaxBatch: 1})
+	defer stop()
+
+	// Valid JSON that keeps the decoder reading past the 16 MB cap.
+	huge := "{\"obs\":[" + strings.Repeat("1,", 9<<20) + "1]}"
+	resp, err := http.Post(base+"/v1/act", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized act body: %d, want 413", resp.StatusCode)
+	}
+
+	// A snapshot cut off mid-gob: 400, diagnosed as truncated, version
+	// untouched.
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	resp, err = http.Post(base+"/v1/policy", "application/octet-stream", bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&msg)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated snapshot: %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(msg.Error, "truncated") {
+		t.Fatalf("truncated snapshot error %q does not name the truncation", msg.Error)
+	}
+	if v := s.PolicyVersion(); v != 1 {
+		t.Fatalf("policy version %d after rejected uploads, want 1", v)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 
@@ -164,18 +165,33 @@ func encodeSnapshot(t *testing.T, s *nn.Snapshot) []byte {
 func TestReadSnapshotCorruptGob(t *testing.T) {
 	spec := nn.NavNetSpec()
 	raw := encodeSnapshot(t, nn.TakeSnapshot(spec.Build(), spec.Name))
-	// Truncate mid-stream and flip a byte in what remains: undecodable.
-	corrupt := append([]byte(nil), raw[:len(raw)/2]...)
-	corrupt[len(corrupt)/2] ^= 0xff
-	_, err := nn.ReadSnapshot(bytes.NewReader(corrupt))
+	// A stream cut mid-message is a transport failure, not a poisoned
+	// artifact: the distinct retryable sentinel (PR 7 refined the
+	// classification; internal/nn's TestReadSnapshotTruncated sweeps the
+	// cut points).
+	truncated := append([]byte(nil), raw[:len(raw)/2]...)
+	_, err := nn.ReadSnapshot(bytes.NewReader(truncated))
+	if err == nil {
+		t.Fatal("decoding a truncated snapshot must fail")
+	}
+	if !errors.Is(err, nn.ErrSnapshotTruncated) {
+		t.Errorf("truncated stream should surface nn.ErrSnapshotTruncated: %v", err)
+	}
+	// A complete stream of the wrong shape is genuinely corrupt: the
+	// decoding error, distinct from both truncation and versioning.
+	var wrong bytes.Buffer
+	if err := gob.NewEncoder(&wrong).Encode("not a snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = nn.ReadSnapshot(&wrong)
 	if err == nil {
 		t.Fatal("decoding a corrupt snapshot must fail")
 	}
 	if !strings.Contains(err.Error(), "decoding snapshot") {
 		t.Errorf("corrupt-gob error should say it failed decoding: %v", err)
 	}
-	if strings.Contains(err.Error(), "version") {
-		t.Errorf("corrupt-gob error must be distinct from the version error: %v", err)
+	if errors.Is(err, nn.ErrSnapshotTruncated) || strings.Contains(err.Error(), "version") {
+		t.Errorf("corrupt-gob error must be distinct from truncation and version errors: %v", err)
 	}
 }
 
