@@ -3,11 +3,13 @@ package dronerl
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"dronerl/internal/core"
 	"dronerl/internal/env"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
+	"dronerl/internal/scen"
 )
 
 // This file is the composable experiment API: a Spec built from functional
@@ -96,6 +98,8 @@ type Spec struct {
 	scenarios []string
 	agentOpts []rl.Option
 	overrides rl.Options
+	swarm     int
+	stages    []Stage
 }
 
 // Option configures a Spec under construction.
@@ -193,6 +197,78 @@ func WithScenarios(names ...string) Option {
 			return fmt.Errorf("dronerl: WithScenarios needs at least one name")
 		}
 		s.scenarios = append([]string(nil), names...)
+		return nil
+	}
+}
+
+// Procedural scenario generation, curriculum learning and swarm missions
+// (re-exported from internal/scen).
+
+// GenSpec parameterizes the procedural world generator: kind, size, corridor
+// width, obstacle density, box fraction, walls, turbulence and payload. The
+// zero value of every field except Kind selects a kind-appropriate default.
+type GenSpec = scen.GenSpec
+
+// Stage is one rung of a curriculum ladder: a generated world spec plus the
+// promotion thresholds the agent must clear to advance.
+type Stage = scen.Stage
+
+// Curriculum drives the engine through progressively harder generated
+// stages; build one with Spec.Curriculum and execute it with Run.
+type Curriculum = scen.Curriculum
+
+// CurriculumReport is a finished curriculum's promotion trace and outcome.
+type CurriculumReport = scen.CurriculumReport
+
+// SwarmExperiment is the multi-drone mission driver; build one with
+// Spec.Swarm and execute it with Run.
+type SwarmExperiment = scen.SwarmExperiment
+
+// SwarmReport merges per-drone mission stats in index order.
+type SwarmReport = scen.SwarmReport
+
+// Generate synthesizes a world from the spec, fully deterministically:
+// identical spec and seed yield bit-identical worlds.
+func Generate(spec GenSpec, seed int64) (*env.World, error) { return scen.Generate(spec, seed) }
+
+// DefaultCurriculum returns the stock three-stage ladder for a world kind
+// ("indoor" or "outdoor"), from wide corridors to narrow, calm to turbulent.
+func DefaultCurriculum(kind string) []Stage { return scen.DefaultLadder(kind) }
+
+// WithGenerated registers the spec's scenario family in the catalog (under
+// its canonical FamilyName; re-registering the same spec is a no-op) and
+// appends it to the Spec's scenario list, so flight experiments sweep the
+// generated world alongside any named ones.
+func WithGenerated(g GenSpec) Option {
+	return func(s *Spec) error {
+		name, err := scen.RegisterSpec(g)
+		if err != nil {
+			return fmt.Errorf("dronerl: WithGenerated: %w", err)
+		}
+		s.scenarios = append(s.scenarios, name)
+		return nil
+	}
+}
+
+// WithSwarm sets the fleet size Spec.Swarm flies (>= 1; the default 4).
+func WithSwarm(n int) Option {
+	return func(s *Spec) error {
+		if n < 1 {
+			return fmt.Errorf("dronerl: swarm size %d must be >= 1", n)
+		}
+		s.swarm = n
+		return nil
+	}
+}
+
+// WithCurriculum installs a custom stage ladder for Spec.Curriculum in place
+// of the kind's default one. Stage specs are validated by Validate.
+func WithCurriculum(stages ...Stage) Option {
+	return func(s *Spec) error {
+		if len(stages) == 0 {
+			return fmt.Errorf("dronerl: WithCurriculum needs at least one stage")
+		}
+		s.stages = append([]Stage(nil), stages...)
 		return nil
 	}
 }
@@ -306,7 +382,16 @@ func (s *Spec) Validate() error {
 	}
 	for _, name := range s.scenarios {
 		if _, ok := env.LookupScenario(name); !ok {
-			return fmt.Errorf("dronerl: unknown scenario %q (see dronerl.Scenarios)", name)
+			return fmt.Errorf("dronerl: unknown scenario %q: registered scenarios are %s",
+				name, strings.Join(env.ScenarioNames(), ", "))
+		}
+	}
+	if s.swarm < 0 {
+		return fmt.Errorf("dronerl: swarm size %d must be >= 1", s.swarm)
+	}
+	for i, st := range s.stages {
+		if err := st.Spec.Validate(); err != nil {
+			return fmt.Errorf("dronerl: curriculum stage %d: %w", i, err)
 		}
 	}
 	overrides, err := rl.NewOptions(s.agentOpts...)
@@ -356,6 +441,49 @@ func (s *Spec) Missions(budgetJ float64, online bool) *MissionExperiment {
 	e := core.NewMissionExperiment(s.scale.Seed, budgetJ, online)
 	e.SetAgentOverrides(s.overrides)
 	return e
+}
+
+// Curriculum builds the staged-training experiment: meta-train once for the
+// ladder's kind, then adapt the policy online through each generated stage,
+// promoting on the Spec's moving-average reward and safe-flight-distance
+// thresholds. The ladder is the one installed with WithCurriculum, or the
+// kind-default ladder matching the Spec's first scenario. Execute it with
+// Run; with a fixed seed the promotion trace is reproducible run to run.
+func (s *Spec) Curriculum() (*Curriculum, error) {
+	stages := s.stages
+	if len(stages) == 0 {
+		sc, ok := env.LookupScenario(s.ScenarioNames()[0])
+		if !ok {
+			return nil, fmt.Errorf("dronerl: unknown scenario %q: registered scenarios are %s",
+				s.ScenarioNames()[0], strings.Join(env.ScenarioNames(), ", "))
+		}
+		stages = scen.DefaultLadder(sc.Kind)
+	}
+	c, err := scen.NewCurriculum(stages, s.topology, s.scale.Seed, s.scale.MetaIters, s.scale.OnlineIters)
+	if err != nil {
+		return nil, err
+	}
+	c.SetAgentOverrides(s.overrides)
+	return c, nil
+}
+
+// Swarm builds the multi-drone mission over the Spec's first scenario:
+// meta-train and adapt one policy, then fly the fleet (WithSwarm, default 4)
+// as clones of that world in lockstep, batching the whole swarm's
+// observations into one GEMM per layer. EvalSteps is the mission length.
+// Execute it with Run.
+func (s *Spec) Swarm() (*SwarmExperiment, error) {
+	drones := s.swarm
+	if drones == 0 {
+		drones = 4
+	}
+	e, err := scen.NewSwarmExperiment(s.ScenarioNames()[0], drones, s.topology,
+		s.scale.Seed, s.scale.MetaIters, s.scale.OnlineIters, s.scale.EvalSteps)
+	if err != nil {
+		return nil, err
+	}
+	e.SetAgentOverrides(s.overrides)
+	return e, nil
 }
 
 // Agent builds a Q-learning agent over the scaled NavNet architecture with

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"dronerl"
@@ -223,5 +224,107 @@ func TestRunStreamsProgressThroughFacade(t *testing.T) {
 	}
 	if exp.Report() == nil {
 		t.Error("completed experiment must publish its report")
+	}
+}
+
+// TestUnknownScenarioErrorListsTheCatalog pins the fast-fail contract: a
+// typo'd scenario name is rejected at New time with an error that lists
+// every registered name, builtin and generated families alike.
+func TestUnknownScenarioErrorListsTheCatalog(t *testing.T) {
+	_, err := dronerl.New(dronerl.WithScenarios("indoor-aprtment"))
+	if err == nil {
+		t.Fatal("misspelled scenario accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown scenario "indoor-aprtment"`) {
+		t.Errorf("error does not name the bad input: %v", err)
+	}
+	if !strings.Contains(msg, "registered scenarios are") {
+		t.Errorf("error does not introduce the catalog listing: %v", err)
+	}
+	for _, name := range []string{"indoor-apartment", "warehouse", "gen-indoor-sparse"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error listing misses registered scenario %q: %v", name, err)
+		}
+	}
+}
+
+func TestSpecCurriculumAndSwarm(t *testing.T) {
+	spec, err := dronerl.New(
+		dronerl.WithSeed(5),
+		dronerl.WithMetaIters(40), dronerl.WithOnlineIters(40), dronerl.WithEvalSteps(40),
+		dronerl.WithScenarios("gen-indoor-sparse"),
+		dronerl.WithSwarm(3),
+		dronerl.WithCurriculum(
+			dronerl.Stage{Name: "a", Spec: dronerl.GenSpec{Kind: "indoor", Corridor: 1.3, Density: 2}},
+			dronerl.Stage{Name: "b", Spec: dronerl.GenSpec{Kind: "indoor", Corridor: 0.9, Density: 4}},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := spec.Curriculum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dronerl.Run(context.Background(), cur); err != nil {
+		t.Fatal(err)
+	}
+	rep := cur.Report()
+	if rep == nil || len(rep.Trace) == 0 {
+		t.Fatal("curriculum run produced no promotion trace")
+	}
+	for _, rec := range rep.Trace {
+		if rec.Stage != "a" && rec.Stage != "b" {
+			t.Errorf("trace names unknown stage %q", rec.Stage)
+		}
+	}
+
+	swarm, err := spec.Swarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dronerl.Run(context.Background(), swarm); err != nil {
+		t.Fatal(err)
+	}
+	if got := swarm.Report(); got == nil || len(got.Drones) != 3 {
+		t.Fatalf("swarm report %+v, want 3 drones", got)
+	}
+}
+
+func TestWithGeneratedRegistersAndSelects(t *testing.T) {
+	g := dronerl.GenSpec{Kind: "outdoor", Corridor: 4.5, Density: 0.8, Turbulence: 0.2}
+	spec, err := dronerl.New(dronerl.WithGenerated(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := spec.ScenarioNames()
+	if len(names) != 1 || names[0] != g.FamilyName() {
+		t.Fatalf("generated family not selected: %v", names)
+	}
+	found := false
+	for _, s := range dronerl.Scenarios() {
+		if s.Name == g.FamilyName() {
+			found = true
+			if s.Kind != "outdoor" {
+				t.Errorf("family registered with kind %q", s.Kind)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("WithGenerated did not register %q in the catalog", g.FamilyName())
+	}
+	// Same spec again: idempotent, not a duplicate error.
+	if _, err := dronerl.New(dronerl.WithGenerated(g)); err != nil {
+		t.Fatalf("re-registering the same generated family failed: %v", err)
+	}
+	if _, err := dronerl.New(dronerl.WithGenerated(dronerl.GenSpec{Kind: "nope"})); err == nil {
+		t.Fatal("invalid generated spec accepted")
+	}
+	if _, err := dronerl.New(dronerl.WithSwarm(0)); err == nil {
+		t.Fatal("zero swarm size accepted")
+	}
+	if _, err := dronerl.New(dronerl.WithCurriculum()); err == nil {
+		t.Fatal("empty curriculum accepted")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"dronerl/internal/mem"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
+	"dronerl/internal/scen"
 	"dronerl/internal/serve"
 	"dronerl/internal/systolic"
 	"dronerl/internal/tensor"
@@ -806,3 +807,66 @@ func BenchmarkServeQPSSystolicSingleFlight(b *testing.B) { benchmarkServeQPS(b, 
 
 // BenchmarkServeQPSSystolicBatched coalesces on the modeled accelerator.
 func BenchmarkServeQPSSystolicBatched(b *testing.B) { benchmarkServeQPS(b, "systolic", 32) }
+
+// Swarm-mission throughput: the multi-drone driver's headline comparison.
+// Both variants fly the same fleet of world clones sharing one frozen policy
+// over the same generated world; Serial runs one single-row forward per
+// drone per tick, the batched path stacks the fleet's observations into one
+// GEMM per layer and steps the worlds concurrently. The two paths return
+// bit-identical per-drone stats (asserted in internal/scen), so the steps/s
+// delta is pure batching and scheduling gain.
+
+// swarmBenchDrones and swarmBenchSteps size the swarm benchmarks' mission.
+const (
+	swarmBenchDrones = 8
+	swarmBenchSteps  = 64
+)
+
+func benchmarkSwarmSteps(b *testing.B, batched bool) {
+	snap := onlineBenchSnapshot(b)
+	agent, err := transfer.Deploy(snap, nn.NavNetSpec(), nn.L3, onlineBenchOpts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	world, err := scen.Generate(scen.GenSpec{Kind: scen.Indoor, Corridor: 1.2, Density: 3}, 1006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scen.FlySwarm(agent.Net, world, swarmBenchDrones, swarmBenchSteps, 1007, batched)
+	}
+	b.ReportMetric(float64(swarmBenchDrones*swarmBenchSteps*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkSwarmStepsSerial is the per-drone single-row reference path.
+func BenchmarkSwarmStepsSerial(b *testing.B) { benchmarkSwarmSteps(b, false) }
+
+// BenchmarkSwarmSteps is the batched path: one GEMM per layer for the fleet.
+func BenchmarkSwarmSteps(b *testing.B) { benchmarkSwarmSteps(b, true) }
+
+// BenchmarkGenerateWorld measures the procedural scenario generator and
+// doubles as its CI determinism gate: every generated world must hash
+// identically to the first one (same spec, same seed -> bit-identical
+// world), so a nondeterministic generator fails the bench job outright.
+func BenchmarkGenerateWorld(b *testing.B) {
+	spec := scen.GenSpec{Kind: scen.Outdoor, Corridor: 3, Density: 1.5, BoxFrac: 0.3, Turbulence: 0.4}
+	ref, err := scen.Generate(spec, 1008)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := scen.WorldHash(ref)
+	var obstacles int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := scen.Generate(spec, 1008)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := scen.WorldHash(w); got != want {
+			b.Fatalf("generator nondeterministic: hash %s, want %s", got, want)
+		}
+		obstacles = len(w.Obstacles)
+	}
+	b.ReportMetric(float64(obstacles), "obstacles")
+}

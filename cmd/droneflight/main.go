@@ -6,24 +6,32 @@
 //
 //	droneflight [-env <scenario>] [-config L2|L3|L4|E2E]
 //	            [-meta 1000] [-online 800] [-eval 600] [-seed 1] [-map]
+//	droneflight -curriculum [-env <scenario>] ...
+//	droneflight -swarm N [-env <scenario>] ...
 //	droneflight -list
 //
 // The -env flag names any scenario from the catalog (droneflight -list
 // prints it); the short aliases apartment, house, forest and town select
-// the paper's four test environments.
+// the paper's four test environments, and gen-* names select procedurally
+// generated scenario families. -curriculum trains through the staged
+// ladder matching the scenario's kind instead of a single world, and
+// -swarm N flies N policy-sharing drone clones after online adaptation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"dronerl/internal/core"
 	"dronerl/internal/env"
 	"dronerl/internal/metrics"
 	"dronerl/internal/nn"
 	"dronerl/internal/report"
 	"dronerl/internal/rl"
+	"dronerl/internal/scen"
 	"dronerl/internal/transfer"
 
 	// Linked for their backend registrations, so -backend can name the
@@ -59,6 +67,10 @@ func main() {
 		strings.Join(nn.BackendNames(), ", ")+" (default: the direct float path)")
 	actors := flag.Int("actors", 1, "concurrent actors for the online-learning phase "+
 		"(1 = the deterministic serial schedule)")
+	curriculum := flag.Bool("curriculum", false, "train through the staged curriculum ladder "+
+		"matching the scenario's kind instead of a single world")
+	swarm := flag.Int("swarm", 0, "fly N policy-sharing drone clones after online adaptation "+
+		"(0 = single-drone experiment)")
 	showMap := flag.Bool("map", false, "print the environment map")
 	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	saveModel := flag.String("save", "", "write the meta-model snapshot to this file after meta-training")
@@ -76,6 +88,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-actors %d: need at least one actor\n", *actors)
 		os.Exit(2)
 	}
+	if *swarm < 0 {
+		fmt.Fprintf(os.Stderr, "-swarm %d: need at least one drone\n", *swarm)
+		os.Exit(2)
+	}
+	if *curriculum && *swarm > 0 {
+		fmt.Fprintln(os.Stderr, "-curriculum and -swarm are separate modes; pick one")
+		os.Exit(2)
+	}
 
 	if *list {
 		t := report.New("scenario catalog", "name", "kind", "description")
@@ -86,9 +106,11 @@ func main() {
 		return
 	}
 
+	key := resolveName(*envName)
 	world := pickEnv(*envName, *seed)
 	if world == nil {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (droneflight -list shows the catalog)\n", *envName)
+		fmt.Fprintf(os.Stderr, "unknown scenario %q: registered scenarios are %s\n",
+			*envName, strings.Join(env.ScenarioNames(), ", "))
 		os.Exit(2)
 	}
 	cfg, ok := pickConfig(*cfgName)
@@ -98,6 +120,15 @@ func main() {
 	}
 	if *showMap {
 		fmt.Println(world.Render(72, 24))
+	}
+
+	if *curriculum {
+		runCurriculum(world.Kind, cfg, *seed, *metaIters, *onlineIters)
+		return
+	}
+	if *swarm > 0 {
+		runSwarm(key, *swarm, cfg, *seed, *metaIters, *onlineIters, *evalSteps)
+		return
 	}
 
 	spec := nn.NavNetSpec()
@@ -188,13 +219,83 @@ func main() {
 	fmt.Println(t.String())
 }
 
-// pickEnv resolves a scenario by catalog name or short alias and builds its
-// world. Alias lookups keep the historical per-world seed offsets.
-func pickEnv(name string, seed int64) *env.World {
+// runCurriculum trains through the staged ladder for the scenario's kind
+// and prints the promotion trace.
+func runCurriculum(kind string, cfg nn.Config, seed int64, metaIters, onlineIters int) {
+	c, err := scen.NewCurriculum(scen.DefaultLadder(kind), cfg, seed, metaIters, onlineIters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("curriculum: %d %s stages under %v (meta %d, per-stage %d iterations)\n",
+		len(c.Stages()), kind, cfg, metaIters, onlineIters)
+	if err := core.Run(context.Background(), c, core.WithProgress(func(ev core.Event) {
+		fmt.Printf("  [%s] %s: reward %.3f after %d iterations\n",
+			ev.Phase, ev.Env, ev.Reward, ev.Iteration)
+	})); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := c.Report()
+	t := report.New("curriculum ("+kind+", "+cfg.String()+")",
+		"stage", "attempt", "iters", "reward", "SFD (m)", "promoted")
+	for _, rec := range rep.Trace {
+		t.Add(rec.Stage, fmt.Sprint(rec.Attempt+1), fmt.Sprint(rec.Iters),
+			report.Num(rec.Reward), report.Num(rec.SFD), fmt.Sprint(rec.Promoted))
+	}
+	fmt.Println(t.String())
+	if !rep.Completed {
+		fmt.Printf("curriculum stopped at stage %q\n", rep.FailedStage)
+		os.Exit(1)
+	}
+	fmt.Println("curriculum completed: every stage promoted")
+}
+
+// runSwarm meta-trains and adapts one policy in the scenario, then flies a
+// fleet of clones sharing it and prints the per-drone mission stats.
+func runSwarm(scenario string, drones int, cfg nn.Config, seed int64,
+	metaIters, onlineIters, missionSteps int) {
+
+	e, err := scen.NewSwarmExperiment(scenario, drones, cfg, seed, metaIters, onlineIters, missionSteps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("swarm: %d drones in %q under %v (meta %d, online %d, mission %d steps)\n",
+		drones, scenario, cfg, metaIters, onlineIters, missionSteps)
+	if err := core.Run(context.Background(), e, core.WithProgress(func(ev core.Event) {
+		fmt.Printf("  [%s] %s: reward %.3f after %d iterations\n",
+			ev.Phase, ev.Env, ev.Reward, ev.Iteration)
+	})); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := e.Report()
+	t := report.New("swarm mission ("+rep.Env+", "+cfg.String()+")",
+		"drone", "steps", "crashes", "mean reward", "distance (m)", "SFD (m)")
+	for _, d := range rep.Drones {
+		t.Add(fmt.Sprint(d.Drone), fmt.Sprint(d.Steps), fmt.Sprint(d.Crashes),
+			report.Num(d.MeanReward), report.Num(d.Distance), report.Num(d.SFD))
+	}
+	t.Add("fleet", fmt.Sprint(rep.TotalSteps), fmt.Sprint(rep.TotalCrashes),
+		report.Num(rep.MeanReward), report.Num(rep.TotalDistance), report.Num(rep.MeanSFD))
+	fmt.Println(t.String())
+}
+
+// resolveName lowers a scenario name and expands the historical short
+// aliases to their catalog keys.
+func resolveName(name string) string {
 	key := strings.ToLower(name)
 	if full, ok := aliases[key]; ok {
 		key = full
 	}
+	return key
+}
+
+// pickEnv resolves a scenario by catalog name or short alias and builds its
+// world. Alias lookups keep the historical per-world seed offsets.
+func pickEnv(name string, seed int64) *env.World {
+	key := resolveName(name)
 	s, ok := env.LookupScenario(key)
 	if !ok {
 		return nil

@@ -1,6 +1,7 @@
 package env
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,6 +39,12 @@ var scenarioRegistry = struct {
 	m map[string]Scenario
 }{m: map[string]Scenario{}}
 
+// ErrDuplicateScenario reports a registration under a name the catalog
+// already holds. Programmatic registrars — the generated scenario families
+// of internal/scen register many names at once — match it with errors.Is to
+// distinguish a benign re-registration from a real registration failure.
+var ErrDuplicateScenario = errors.New("scenario already registered")
+
 // RegisterScenario adds a scenario to the catalog. It fails on an empty
 // name, a nil builder, or a name already taken (builtin names included) —
 // silently replacing a scenario would let two experiments disagree about
@@ -52,7 +59,7 @@ func RegisterScenario(s Scenario) error {
 	scenarioRegistry.Lock()
 	defer scenarioRegistry.Unlock()
 	if _, dup := scenarioRegistry.m[s.Name]; dup {
-		return fmt.Errorf("env: scenario %q already registered", s.Name)
+		return fmt.Errorf("env: scenario %q: %w", s.Name, ErrDuplicateScenario)
 	}
 	scenarioRegistry.m[s.Name] = s
 	return nil
@@ -84,6 +91,20 @@ func Scenarios() []Scenario {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// ScenarioNames returns the catalog's names sorted alphabetically — the
+// list error messages print when a caller names a scenario that does not
+// exist.
+func ScenarioNames() []string {
+	scenarioRegistry.RLock()
+	defer scenarioRegistry.RUnlock()
+	names := make([]string, 0, len(scenarioRegistry.m))
+	for name := range scenarioRegistry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // DefaultFlightScenarios lists the four test worlds of Fig. 9/10/11 in the

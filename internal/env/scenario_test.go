@@ -1,6 +1,7 @@
 package env
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -123,5 +124,37 @@ func TestIdealDepthVariantStripsStereo(t *testing.T) {
 	base, _ := LookupScenario("indoor-apartment")
 	if w := base.Build(9); w.Stereo == nil {
 		t.Error("base scenario must keep its stereo model")
+	}
+}
+
+func TestRegisterScenarioDuplicateIsSentinel(t *testing.T) {
+	name := "test-dup-sentinel"
+	build := func(seed int64) *World { return IndoorHouse(seed) }
+	if err := RegisterScenario(Scenario{Name: name, Build: build}); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := RegisterScenario(Scenario{Name: name, Build: build})
+	if !errors.Is(err, ErrDuplicateScenario) {
+		t.Fatalf("duplicate registration: got %v, want errors.Is(err, ErrDuplicateScenario)", err)
+	}
+	if !strings.Contains(err.Error(), name) {
+		t.Errorf("duplicate error %q does not name the colliding scenario", err)
+	}
+	// Empty-name and nil-builder rejections are different failures, not
+	// catalog collisions.
+	if err := RegisterScenario(Scenario{Name: "", Build: build}); errors.Is(err, ErrDuplicateScenario) {
+		t.Error("empty-name rejection must not wrap ErrDuplicateScenario")
+	}
+}
+
+func TestScenarioNamesSorted(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != len(Scenarios()) {
+		t.Fatalf("ScenarioNames lists %d names, catalog has %d", len(names), len(Scenarios()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q before %q", names[i-1], names[i])
+		}
 	}
 }

@@ -1,0 +1,79 @@
+package scen
+
+import (
+	"errors"
+	"fmt"
+
+	"dronerl/internal/env"
+)
+
+// RegisterFamily registers a generated scenario family: a named, validated
+// GenSpec whose builder is Generate(spec, seed). The family then behaves
+// like any catalog scenario — `droneflight -list` shows it, -env and
+// WithScenarios accept it, and every seed draws a fresh member world of the
+// family. Registration fails on an invalid spec or (with
+// env.ErrDuplicateScenario) a name the catalog already holds.
+func RegisterFamily(name, description string, spec GenSpec) error {
+	v, err := spec.normalized()
+	if err != nil {
+		return err
+	}
+	return env.RegisterScenario(env.Scenario{
+		Name: name, Kind: v.Kind, Description: description,
+		Build: func(seed int64) *env.World {
+			w, err := Generate(v, seed)
+			if err != nil {
+				// Unreachable: the spec was validated at registration.
+				panic(fmt.Sprintf("scen: family %q: %v", name, err))
+			}
+			return w
+		},
+	})
+}
+
+// RegisterSpec registers an ad-hoc spec under its canonical FamilyName and
+// returns that name. A family already registered under the same name is
+// fine — the name encodes every knob, so an equal name means an equal spec
+// — which makes RegisterSpec idempotent; any other registration failure is
+// reported. This is what the facade's WithGenerated rides on.
+func RegisterSpec(spec GenSpec) (string, error) {
+	v, err := spec.normalized()
+	if err != nil {
+		return "", err
+	}
+	name := v.FamilyName()
+	err = RegisterFamily(name, "ad-hoc generated family ("+v.Kind+")", v)
+	if err != nil && !errors.Is(err, env.ErrDuplicateScenario) {
+		return "", err
+	}
+	return name, nil
+}
+
+// mustRegisterFamily registers a builtin family and panics on conflict (a
+// programming error at package init).
+func mustRegisterFamily(name, description string, spec GenSpec) {
+	if err := RegisterFamily(name, description, spec); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	// The builtin families: five parameterized points spanning the
+	// generator's difficulty axes, importable by name anywhere the catalog
+	// reaches (linking this package is enough to expose them).
+	mustRegisterFamily("gen-indoor-sparse",
+		"generated roomy interior: wide 1.3 m corridors, light clutter",
+		GenSpec{Kind: Indoor, Corridor: 1.3, Density: 3, BoxFrac: 0.25})
+	mustRegisterFamily("gen-indoor-cluttered",
+		"generated cramped interior: 0.7 m corridors, dense mixed furniture, two partition walls",
+		GenSpec{Kind: Indoor, Corridor: 0.7, Density: 6.5, BoxFrac: 0.3, Walls: 2})
+	mustRegisterFamily("gen-outdoor-grove",
+		"generated open grove: cylindrical trunks at 5 m spacing",
+		GenSpec{Kind: Outdoor, Corridor: 5, Density: 1})
+	mustRegisterFamily("gen-outdoor-storm",
+		"generated gusty woodland: 3 m corridors with turbulence-degraded stereo sensing",
+		GenSpec{Kind: Outdoor, Corridor: 3, Density: 1.5, Turbulence: 0.6})
+	mustRegisterFamily("gen-outdoor-heavylift",
+		"generated delivery run: moderate clutter flown with a 60% payload (slower frames, fatter body)",
+		GenSpec{Kind: Outdoor, Corridor: 3.5, Density: 1.2, Payload: 0.6})
+}

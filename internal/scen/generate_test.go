@@ -1,0 +1,215 @@
+package scen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dronerl/internal/env"
+)
+
+func TestGenerateDeterministicBitIdentical(t *testing.T) {
+	specs := []GenSpec{
+		{Kind: Indoor},
+		{Kind: Indoor, Corridor: 0.7, Density: 6.5, BoxFrac: 0.3, Walls: 2},
+		{Kind: Outdoor, Corridor: 3, Density: 1.5, Turbulence: 0.6},
+		{Kind: Outdoor, Corridor: 3.5, Density: 1.2, Payload: 0.6, BoxFrac: 0.5},
+	}
+	for _, spec := range specs {
+		for _, seed := range []int64{0, 1, 42, -7} {
+			a, err := Generate(spec, seed)
+			if err != nil {
+				t.Fatalf("Generate(%+v, %d): %v", spec, seed, err)
+			}
+			b, err := Generate(spec, seed)
+			if err != nil {
+				t.Fatalf("Generate(%+v, %d) second call: %v", spec, seed, err)
+			}
+			if WorldHash(a) != WorldHash(b) {
+				t.Errorf("Generate(%+v, %d) not deterministic: %s != %s",
+					spec, seed, WorldHash(a), WorldHash(b))
+			}
+		}
+		a, _ := Generate(spec, 1)
+		b, _ := Generate(spec, 2)
+		if WorldHash(a) == WorldHash(b) {
+			t.Errorf("Generate(%+v) ignored the seed: seeds 1 and 2 hash equal", spec)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenSpec{
+		{},
+		{Kind: "underwater"},
+		{Kind: Indoor, Corridor: 3},            // indoor corridors top out at 2 m
+		{Kind: Outdoor, Corridor: 1},           // outdoor corridors start at 2 m
+		{Kind: Indoor, Density: 25},            // over the density cap
+		{Kind: Indoor, Turbulence: 1.5},        // out of [0, 1]
+		{Kind: Indoor, Payload: -0.1},          // out of [0, 1]
+		{Kind: Indoor, BoxFrac: 2},             // out of [0, 1]
+		{Kind: Indoor, Walls: 9},               // over the wall cap
+		{Kind: Indoor, Size: 5},                // below minimum size
+		{Kind: Outdoor, Size: 11, Corridor: 6}, // size < 6x corridor
+	}
+	for _, spec := range bad {
+		if _, err := Generate(spec, 1); err == nil {
+			t.Errorf("Generate(%+v) accepted an invalid spec", spec)
+		}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", spec)
+		}
+	}
+	if err := (GenSpec{Kind: Indoor}).Validate(); err != nil {
+		t.Errorf("minimal indoor spec rejected: %v", err)
+	}
+}
+
+func TestGenerateKnobsShapeTheWorld(t *testing.T) {
+	calm, err := Generate(GenSpec{Kind: Outdoor}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormy, err := Generate(GenSpec{Kind: Outdoor, Turbulence: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.Stereo.NoisePx <= calm.Stereo.NoisePx {
+		t.Errorf("turbulence did not raise stereo noise: %.3g <= %.3g",
+			stormy.Stereo.NoisePx, calm.Stereo.NoisePx)
+	}
+
+	loaded, err := Generate(GenSpec{Kind: Outdoor, Payload: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DFrame >= calm.DFrame {
+		t.Errorf("payload did not slow the frame advance: %.3g >= %.3g", loaded.DFrame, calm.DFrame)
+	}
+	if loaded.CollisionRadius <= calm.CollisionRadius {
+		t.Errorf("payload did not grow the collision body: %.3g <= %.3g",
+			loaded.CollisionRadius, calm.CollisionRadius)
+	}
+
+	sparse, err := Generate(GenSpec{Kind: Indoor, Density: 1.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Generate(GenSpec{Kind: Indoor, Density: 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Obstacles) <= len(sparse.Obstacles) {
+		t.Errorf("density knob ineffective: %d obstacles at density 6 vs %d at 1.5",
+			len(dense.Obstacles), len(sparse.Obstacles))
+	}
+}
+
+func TestGenerateRespectsCorridorSpacing(t *testing.T) {
+	const corridor = 1.2
+	w, err := Generate(GenSpec{Kind: Indoor, Corridor: corridor, Density: 6}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DMin != corridor {
+		t.Errorf("DMin = %g, want %g", w.DMin, corridor)
+	}
+	var discs []env.CircleObstacle
+	for _, o := range w.Obstacles {
+		if c, ok := o.(env.CircleObstacle); ok {
+			discs = append(discs, c)
+		}
+	}
+	if len(discs) < 2 {
+		t.Fatalf("want at least 2 discs to check spacing, got %d", len(discs))
+	}
+	for i := 0; i < len(discs); i++ {
+		for j := i + 1; j < len(discs); j++ {
+			gap := discs[i].C.Dist(discs[j].C) - discs[i].R - discs[j].R
+			if gap < corridor-1e-9 {
+				t.Errorf("discs %d and %d only %.3g m apart, want >= %g", i, j, gap, corridor)
+			}
+		}
+	}
+}
+
+func TestBuiltinFamiliesRegistered(t *testing.T) {
+	families := []string{
+		"gen-indoor-sparse", "gen-indoor-cluttered",
+		"gen-outdoor-grove", "gen-outdoor-storm", "gen-outdoor-heavylift",
+	}
+	for _, name := range families {
+		s, ok := env.LookupScenario(name)
+		if !ok {
+			t.Errorf("family %q not in the catalog", name)
+			continue
+		}
+		if s.Description == "" {
+			t.Errorf("family %q has no description", name)
+		}
+		a, b := s.Build(5), s.Build(5)
+		if WorldHash(a) != WorldHash(b) {
+			t.Errorf("family %q builder is not a pure function of the seed", name)
+		}
+		if a.Kind != s.Kind {
+			t.Errorf("family %q: catalog kind %q != built kind %q", name, s.Kind, a.Kind)
+		}
+	}
+}
+
+func TestRegisterSpecIdempotent(t *testing.T) {
+	spec := GenSpec{Kind: Indoor, Corridor: 1.1, Density: 3.3, Turbulence: 0.25}
+	name1, err := RegisterSpec(spec)
+	if err != nil {
+		t.Fatalf("first RegisterSpec: %v", err)
+	}
+	name2, err := RegisterSpec(spec)
+	if err != nil {
+		t.Fatalf("second RegisterSpec (same spec) should be idempotent, got %v", err)
+	}
+	if name1 != name2 {
+		t.Fatalf("RegisterSpec names differ: %q vs %q", name1, name2)
+	}
+	if _, ok := env.LookupScenario(name1); !ok {
+		t.Fatalf("RegisterSpec did not register %q", name1)
+	}
+	if _, err := RegisterSpec(GenSpec{Kind: "nope"}); err == nil {
+		t.Fatal("RegisterSpec accepted an invalid spec")
+	}
+}
+
+func TestRegisterFamilyDuplicateIsSentinel(t *testing.T) {
+	spec := GenSpec{Kind: Outdoor, Corridor: 4.4, Density: 0.9}
+	if err := RegisterFamily("gen-test-dup-family", "test family", spec); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := RegisterFamily("gen-test-dup-family", "test family", spec)
+	if !errors.Is(err, env.ErrDuplicateScenario) {
+		t.Fatalf("duplicate family registration: got %v, want errors.Is(err, env.ErrDuplicateScenario)", err)
+	}
+}
+
+func TestFamilyNameEncodesEveryKnob(t *testing.T) {
+	base := GenSpec{Kind: Indoor}
+	variants := []GenSpec{
+		{Kind: Outdoor},
+		{Kind: Indoor, Size: 30},
+		{Kind: Indoor, Corridor: 1.3},
+		{Kind: Indoor, Density: 2},
+		{Kind: Indoor, BoxFrac: 0.5},
+		{Kind: Indoor, Walls: 2},
+		{Kind: Indoor, Turbulence: 0.5},
+		{Kind: Indoor, Payload: 0.5},
+	}
+	seen := map[string]bool{base.FamilyName(): true}
+	for _, v := range variants {
+		name := v.FamilyName()
+		if !strings.HasPrefix(name, "gen-") {
+			t.Errorf("family name %q lacks the gen- prefix", name)
+		}
+		if seen[name] {
+			t.Errorf("family name %q collides with another spec's", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,158 @@
+// Package scen turns the fixed scenario catalog into an unbounded, seeded,
+// difficulty-graded stream of worlds, and adds the two drivers that consume
+// such a stream:
+//
+//   - a procedural generator (Generate) that synthesizes arbitrarily many
+//     obstacle layouts from a validated GenSpec — density, corridor width,
+//     turbulence, payload — fully deterministically: identical spec and
+//     seed yield bit-identical worlds. Parameterized specs register as
+//     scenario *families* in the env catalog (RegisterFamily), so
+//     `droneflight -list` and the facade see them like builtin worlds;
+//   - a curriculum runner (Curriculum) that drives the core engine through
+//     progressively harder generated stages, promoting the agent on
+//     moving-average reward and safe-flight-distance thresholds and
+//     recording a deterministic promotion trace;
+//   - multi-drone swarm missions (FlySwarm, SwarmExperiment) that step N
+//     cloned drones sharing one policy, batching the whole fleet's
+//     observations into one GEMM per layer.
+//
+// The paper trains one policy across six hand-built worlds and leans on
+// transfer to survive environment shift; Anwar & Raychowdhury
+// (arXiv:1910.05547) argue that generalization across *many* environments
+// is the real workload for edge drones. This package supplies that
+// workload.
+package scen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kinds the generator understands, matching the env catalog's meta-model
+// families.
+const (
+	Indoor  = "indoor"
+	Outdoor = "outdoor"
+)
+
+// GenSpec parameterizes the procedural world generator. The zero value of
+// every field selects a kind-appropriate default, so GenSpec{Kind: "indoor"}
+// is already a valid spec; only Kind is required.
+type GenSpec struct {
+	// Kind is the meta-model family the world belongs to: "indoor" or
+	// "outdoor". Required.
+	Kind string
+	// Size is the side length of the square world in metres
+	// (default 20 indoor / 80 outdoor; valid range 10–400).
+	Size float64
+	// Corridor is the designed minimum obstacle spacing d_min in metres —
+	// the width of the free corridors the drone flies through (paper
+	// Fig. 1(c)). Default 0.9 indoor / 3.5 outdoor; valid range 0.5–2
+	// indoor, 2–6 outdoor.
+	Corridor float64
+	// Density is the requested obstacle density in obstacles per 100 m²
+	// (default 5 indoor / 1.4 outdoor, max 10). Placement respects the
+	// corridor width, so a dense spec in a narrow-corridor world saturates
+	// at whatever actually fits.
+	Density float64
+	// BoxFrac is the fraction of obstacles that are axis-aligned boxes
+	// (furniture, houses, cars) instead of discs (trunks, pillars), in
+	// [0, 1]. Default 0.
+	BoxFrac float64
+	// Walls is the number of interior partition walls with door gaps
+	// (0–4). Walls are an indoor idiom but allowed outdoors (fences).
+	Walls int
+	// Turbulence in [0, 1] degrades sensing the way gusty flight does:
+	// it scales the stereo matching noise up to 4x, so depth estimates —
+	// and with them the reward — get less reliable.
+	Turbulence float64
+	// Payload in [0, 1] models a loaded drone: the per-frame flight
+	// distance shrinks (up to 40%) and the collision radius grows (up to
+	// 30%), making the same corridor effectively narrower.
+	Payload float64
+}
+
+// Kind defaults and validation ranges.
+var kindDefaults = map[string]struct {
+	size, corridor, density  float64
+	corridorMin, corridorMax float64
+	dframe, collision        float64
+	circleRMin, circleRMax   float64
+	boxMin, boxMax           float64
+}{
+	Indoor:  {size: 20, corridor: 0.9, density: 5, corridorMin: 0.5, corridorMax: 2, dframe: 0.30, collision: 0.25, circleRMin: 0.20, circleRMax: 0.50, boxMin: 0.6, boxMax: 1.5},
+	Outdoor: {size: 80, corridor: 3.5, density: 1.4, corridorMin: 2, corridorMax: 6, dframe: 1.00, collision: 0.30, circleRMin: 0.40, circleRMax: 1.20, boxMin: 3, boxMax: 8},
+}
+
+// normalized returns a copy with every zero field replaced by its kind
+// default, or an error when the spec is invalid. Generate, RegisterFamily
+// and the curriculum all validate through it.
+func (s GenSpec) normalized() (GenSpec, error) {
+	d, ok := kindDefaults[s.Kind]
+	if !ok {
+		return GenSpec{}, fmt.Errorf("scen: unknown kind %q (want %q or %q)", s.Kind, Indoor, Outdoor)
+	}
+	v := s
+	if v.Size == 0 {
+		v.Size = d.size
+	}
+	if v.Corridor == 0 {
+		v.Corridor = d.corridor
+	}
+	if v.Density == 0 {
+		v.Density = d.density
+	}
+	switch {
+	case v.Size < 10 || v.Size > 400:
+		return GenSpec{}, fmt.Errorf("scen: size %.3g m out of range [10, 400]", v.Size)
+	case v.Corridor < d.corridorMin || v.Corridor > d.corridorMax:
+		return GenSpec{}, fmt.Errorf("scen: %s corridor %.3g m out of range [%g, %g]",
+			v.Kind, v.Corridor, d.corridorMin, d.corridorMax)
+	case v.Density < 0 || v.Density > 10:
+		return GenSpec{}, fmt.Errorf("scen: density %.3g out of range [0, 10] obstacles per 100 m²", v.Density)
+	case v.BoxFrac < 0 || v.BoxFrac > 1:
+		return GenSpec{}, fmt.Errorf("scen: box fraction %.3g out of range [0, 1]", v.BoxFrac)
+	case v.Walls < 0 || v.Walls > 4:
+		return GenSpec{}, fmt.Errorf("scen: wall count %d out of range [0, 4]", v.Walls)
+	case v.Turbulence < 0 || v.Turbulence > 1:
+		return GenSpec{}, fmt.Errorf("scen: turbulence %.3g out of range [0, 1]", v.Turbulence)
+	case v.Payload < 0 || v.Payload > 1:
+		return GenSpec{}, fmt.Errorf("scen: payload %.3g out of range [0, 1]", v.Payload)
+	case v.Size < 6*v.Corridor:
+		return GenSpec{}, fmt.Errorf("scen: size %.3g m too small for corridor %.3g m (need >= 6x)", v.Size, v.Corridor)
+	}
+	return v, nil
+}
+
+// Validate reports whether the spec (with defaults applied) is usable.
+func (s GenSpec) Validate() error {
+	_, err := s.normalized()
+	return err
+}
+
+// FamilyName derives the canonical catalog name for the spec: every knob is
+// encoded, so two specs share a name exactly when they generate the same
+// family of worlds. The name is what WithGenerated registers under and what
+// `droneflight -env` accepts.
+func (s GenSpec) FamilyName() string {
+	v, err := s.normalized()
+	if err != nil {
+		// An invalid spec still gets a stable (never-registrable) name.
+		v = s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen-%s-s%g-c%g-d%g", v.Kind, v.Size, v.Corridor, v.Density)
+	if v.BoxFrac > 0 {
+		fmt.Fprintf(&b, "-b%g", v.BoxFrac)
+	}
+	if v.Walls > 0 {
+		fmt.Fprintf(&b, "-w%d", v.Walls)
+	}
+	if v.Turbulence > 0 {
+		fmt.Fprintf(&b, "-t%g", v.Turbulence)
+	}
+	if v.Payload > 0 {
+		fmt.Fprintf(&b, "-p%g", v.Payload)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package scen
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dronerl/internal/core"
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+)
+
+// swarmNet builds a small untrained policy net — greedy flight needs a
+// policy, not a good one.
+func swarmNet(t *testing.T) *nn.Network {
+	t.Helper()
+	return rl.NewAgent(nn.NavNetSpec(), nn.L3, rl.Options{Seed: 3}).Net
+}
+
+func TestFlySwarmSerialParallelBitIdentical(t *testing.T) {
+	net := swarmNet(t)
+	base, err := Generate(GenSpec{Kind: Indoor, Corridor: 1.0, Density: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := FlySwarm(net, base, 4, 120, 9, false)
+	batched := FlySwarm(net, base, 4, 120, 9, true)
+	if !reflect.DeepEqual(serial, batched) {
+		t.Fatalf("serial and batched swarm flights diverge:\nserial:  %+v\nbatched: %+v",
+			serial, batched)
+	}
+	// And the batched path itself is reproducible run to run despite its
+	// per-tick goroutines.
+	again := FlySwarm(net, base, 4, 120, 9, true)
+	if !reflect.DeepEqual(batched, again) {
+		t.Fatalf("batched swarm flight not reproducible:\n%+v\nvs\n%+v", batched, again)
+	}
+}
+
+func TestFlySwarmLeavesTheBaseWorldAlone(t *testing.T) {
+	net := swarmNet(t)
+	base := env.IndoorApartment(3)
+	pose := base.Drone
+	dist := base.FlightDistance()
+	stats := FlySwarm(net, base, 6, 80, 11, true)
+	if base.Drone != pose || base.FlightDistance() != dist {
+		t.Fatal("swarm flight mutated the base world")
+	}
+	if len(stats) != 6 {
+		t.Fatalf("got %d drone stats, want 6", len(stats))
+	}
+	for i, d := range stats {
+		if d.Drone != i {
+			t.Fatalf("stats not in index order: slot %d holds drone %d", i, d.Drone)
+		}
+		if d.Steps != 80 {
+			t.Errorf("drone %d flew %d steps, want 80", i, d.Steps)
+		}
+		if d.Distance <= 0 || d.SFD <= 0 {
+			t.Errorf("drone %d has empty flight: %+v", i, d)
+		}
+	}
+}
+
+func TestSwarmExperimentMergesInIndexOrder(t *testing.T) {
+	e, err := NewSwarmExperiment("gen-indoor-sparse", 3, nn.L3, 5, 60, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	if rep == nil {
+		t.Fatal("swarm experiment finished without a report")
+	}
+	if len(rep.Drones) != 3 {
+		t.Fatalf("got %d drones, want 3", len(rep.Drones))
+	}
+	var steps, crashes int
+	var distance, reward, sfd float64
+	for i, d := range rep.Drones {
+		if d.Drone != i {
+			t.Fatalf("per-drone stats out of index order at slot %d: %+v", i, d)
+		}
+		steps += d.Steps
+		crashes += d.Crashes
+		distance += d.Distance
+		reward += d.MeanReward
+		sfd += d.SFD
+	}
+	if rep.TotalSteps != steps || rep.TotalCrashes != crashes {
+		t.Errorf("merged totals disagree with per-drone sums: %+v", rep)
+	}
+	if rep.TotalDistance != distance {
+		t.Errorf("TotalDistance %.6g != sum %.6g", rep.TotalDistance, distance)
+	}
+	if rep.MeanReward != reward/3 || rep.MeanSFD != sfd/3 {
+		t.Errorf("merged means disagree with per-drone stats: %+v", rep)
+	}
+	if rep.Training == nil || rep.Training.Steps() != 60 {
+		t.Errorf("online-phase tracker missing or short: %+v", rep.Training)
+	}
+
+	// The whole experiment is deterministic: meta-train and online run the
+	// serial schedule and the swarm phase is scheduling-independent.
+	e2, err := NewSwarmExperiment("gen-indoor-sparse", 3, nn.L3, 5, 60, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(context.Background(), e2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Drones, e2.Report().Drones) {
+		t.Fatalf("swarm experiment not reproducible:\n%+v\nvs\n%+v", rep.Drones, e2.Report().Drones)
+	}
+}
+
+func TestNewSwarmExperimentValidates(t *testing.T) {
+	_, err := NewSwarmExperiment("no-such-world", 3, nn.L3, 1, 10, 10, 10)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "registered scenarios are") ||
+		!strings.Contains(err.Error(), "indoor-apartment") {
+		t.Errorf("unknown-scenario error does not list the catalog: %v", err)
+	}
+	if _, err := NewSwarmExperiment("indoor-apartment", 0, nn.L3, 1, 10, 10, 10); err == nil {
+		t.Error("zero drones accepted")
+	}
+	if _, err := NewSwarmExperiment("indoor-apartment", 2, nn.L3, 1, 10, 0, 10); err == nil {
+		t.Error("zero online budget accepted")
+	}
+}
