@@ -361,6 +361,22 @@ const (
 // paper-style cost table. Unknown names fail Validate.
 func WithBackend(name string) Option { return agentOption(rl.WithEvalBackend(name)) }
 
+// QuantTrain is the trainable 16-bit fixed-point backend selectable with
+// WithTrainBackend: integer forward/backward passes and stochastically-
+// rounded weight updates, with every weight access charged to the modeled
+// STT-MRAM stack.
+const QuantTrain = core.QuantTrainBackendName
+
+// WithTrainBackend moves the *training* arithmetic of the online phases
+// onto a trainable backend (QuantTrain, or any nn.TrainableBackend
+// registered with nn.RegisterBackend): every TD update runs quantized —
+// fixed-point forward, integer backprop, stochastically-rounded weight
+// write — and the flight report gains the measured train-energy-per-step
+// tallies. The default keeps training on the float reference, with
+// backends only serving evaluation (WithBackend). Unknown or
+// non-trainable names fail Validate or activation respectively.
+func WithTrainBackend(name string) Option { return agentOption(rl.WithTrainBackend(name)) }
+
 func agentOption(o rl.Option) Option {
 	return func(s *Spec) error {
 		s.agentOpts = append(s.agentOpts, o)

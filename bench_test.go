@@ -459,6 +459,38 @@ func BenchmarkTrainStepBatched(b *testing.B) {
 	}
 }
 
+// quantTrainBatch is the minibatch of the quantized-training benchmark.
+// PR 9's on-device budget point: the paper trains online with tiny batches
+// (Sec. IV), so the quant path is measured at batch 4 rather than the
+// float path's throughput-oriented 32.
+const quantTrainBatch = 4
+
+// BenchmarkQuantTrainStep measures one fixed-point TD update on the
+// int16 training engine (internal/qnn): per-sample Q-format forward and
+// backward passes, stochastic-rounding weight update, and the STT-MRAM
+// energy charge for the weight write-back.
+func BenchmarkQuantTrainStep(b *testing.B) {
+	a := rl.NewAgent(nn.NavNetSpec(), nn.E2E,
+		rl.Options{Seed: 17, BatchSize: quantTrainBatch, TrainBackend: "quant-train"})
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 2*quantTrainBatch; i++ {
+		s := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		s.RandN(rng, 1)
+		next := tensor.New(1, nn.NavNetInput, nn.NavNetInput)
+		next.RandN(rng, 1)
+		a.Observe(rl.Transition{State: s, Action: i % nn.NavNetActions, Reward: 0.1, Next: next})
+	}
+	if err := a.ActivateTrainBackend(); err != nil {
+		b.Fatal(err)
+	}
+	a.TrainStep() // warm the stacking arena so allocs/op reflects steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TrainStep()
+	}
+}
+
 // convBatch is the batch size of the batched conv-layer benchmarks.
 const convBatch = 8
 
@@ -497,6 +529,28 @@ func BenchmarkConvForwardBatchGEMM(b *testing.B) {
 		c.ForwardBatch(batch)
 	}
 	convGFLOPS(b, c, 27, 27, b.Elapsed().Seconds()/convBatch)
+}
+
+// BenchmarkFusedConv measures tensor.ConvGEMMFused on the same stacked
+// CONV2 workload: the batched GEMM convolution walking virtual im2colT rows
+// straight out of the NCHW input, with no materialized patch panel. This is
+// the memory-bounded mode's kernel (Conv2D.DisableColsCaching): it trades
+// the blocked GEMM's cache tiling for a zero-panel footprint, so it runs
+// slower than BenchmarkConvForwardBatchGEMM by design — the benchjson gate
+// pins that price so it can only shrink. Bit-identity with the materialized
+// path is asserted in internal/tensor.
+func BenchmarkFusedConv(b *testing.B) {
+	c, _, batch := alexConv2Batch()
+	oh := tensor.ConvOutDim(27, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(27, c.KW, c.Stride, c.Pad)
+	dst := tensor.New(c.OutC, convBatch*oh*ow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		tensor.ConvGEMMFused(dst, c.Weight.W, batch, c.KH, c.KW, c.Stride, c.Pad)
+	}
+	convGFLOPS(b, c, oh, ow, b.Elapsed().Seconds()/convBatch)
 }
 
 // BenchmarkConvBackwardPerSample measures the per-sample backward pass

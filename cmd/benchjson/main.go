@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -117,7 +118,7 @@ func main() {
 			MaxPct:   *maxRegress,
 			Noisy:    *noisy,
 			NoisyPct: *noisyRegress,
-		}) {
+		}, os.Stderr) {
 			os.Exit(1)
 		}
 	}
@@ -134,26 +135,26 @@ type gateSpec struct {
 
 // gateAgainstBaseline compares the gated benchmarks of rep against the
 // committed baseline document and reports whether the gate passes.
-func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
+func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec, w io.Writer) bool {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		fmt.Fprintln(w, "benchjson: baseline:", err)
 		return false
 	}
 	var base Report
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		fmt.Fprintln(w, "benchjson: baseline:", err)
 		return false
 	}
 	gateRE, err := regexp.Compile(spec.Pattern)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: gate pattern:", err)
+		fmt.Fprintln(w, "benchjson: gate pattern:", err)
 		return false
 	}
 	var noisyRE *regexp.Regexp
 	if spec.Noisy != "" {
 		if noisyRE, err = regexp.Compile(spec.Noisy); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: noisy pattern:", err)
+			fmt.Fprintln(w, "benchjson: noisy pattern:", err)
 			return false
 		}
 	}
@@ -162,14 +163,14 @@ func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
 		baseNs[b.Name] = b.NsPerOp
 	}
 
-	fmt.Fprintf(os.Stderr, "benchjson: gating %q against %s (max +%.0f%%",
+	fmt.Fprintf(w, "benchjson: gating %q against %s (max +%.0f%%",
 		spec.Pattern, baselinePath, spec.MaxPct)
 	if noisyRE != nil {
-		fmt.Fprintf(os.Stderr, "; %q +%.0f%%", spec.Noisy, spec.NoisyPct)
+		fmt.Fprintf(w, "; %q +%.0f%%", spec.Noisy, spec.NoisyPct)
 	}
-	fmt.Fprintln(os.Stderr, ")")
+	fmt.Fprintln(w, ")")
 	ok := true
-	regressed := false
+	var offenders []string
 	gated := 0
 	fresh := make(map[string]bool, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
@@ -180,7 +181,7 @@ func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
 		gated++
 		old, have := baseNs[b.Name]
 		if !have {
-			fmt.Fprintf(os.Stderr, "  NEW   %-40s %12.0f ns/op (no baseline entry)\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(w, "  NEW   %-40s %12.0f ns/op (no baseline entry)\n", b.Name, b.NsPerOp)
 			continue
 		}
 		if old <= 0 {
@@ -196,9 +197,10 @@ func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
 		if delta > budget {
 			verdict = "FAIL"
 			ok = false
-			regressed = true
+			offenders = append(offenders, fmt.Sprintf("%s %.0f -> %.0f ns/op (%+.1f%%, budget +%.0f%%)",
+				b.Name, old, b.NsPerOp, delta, budget))
 		}
-		fmt.Fprintf(os.Stderr, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%, budget +%.0f%%)%s\n",
+		fmt.Fprintf(w, "  %-5s %-40s %12.0f -> %12.0f ns/op (%+.1f%%, budget +%.0f%%)%s\n",
 			verdict, b.Name, old, b.NsPerOp, delta, budget, label)
 	}
 	// A gated baseline entry that vanished from the fresh run means the gate
@@ -209,23 +211,26 @@ func gateAgainstBaseline(rep Report, baselinePath string, spec gateSpec) bool {
 	missing := 0
 	for _, b := range base.Benchmarks {
 		if gateRE.MatchString(b.Name) && !fresh[b.Name] {
-			fmt.Fprintf(os.Stderr, "  MISS  %-40s gated in the baseline but absent from this run\n", b.Name)
+			fmt.Fprintf(w, "  MISS  %-40s gated in the baseline but absent from this run\n", b.Name)
 			missing++
 		}
 	}
 	if missing > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) missing from the fresh run — "+
+		fmt.Fprintf(w, "benchjson: %d gated benchmark(s) missing from the fresh run — "+
 			"if the benchmark was renamed, update the baseline (%s) to match\n", missing, baselinePath)
 		ok = false
 	}
 	if gated == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark on stdin matches the gate pattern")
+		fmt.Fprintln(w, "benchjson: no benchmark on stdin matches the gate pattern")
 		return false
 	}
 	// Independent failure modes get independent summaries: a run can both
-	// regress a benchmark and lose one.
-	if regressed {
-		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION — a gated benchmark slowed down past its budget")
+	// regress a benchmark and lose one. The summary names every offender
+	// with its baseline-vs-fresh delta, so the CI log's last lines say what
+	// regressed and by how much without scrolling back through the table.
+	if len(offenders) > 0 {
+		fmt.Fprintf(w, "benchjson: REGRESSION — %d gated benchmark(s) past budget: %s\n",
+			len(offenders), strings.Join(offenders, "; "))
 	}
 	return ok
 }

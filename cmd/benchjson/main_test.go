@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -25,7 +28,7 @@ func TestGatePassesWithinBudget(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}})
 	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1100}}}
-	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
+	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}, io.Discard) {
 		t.Error("a +10% drift inside a 15% budget must pass the gate")
 	}
 }
@@ -35,7 +38,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}})
 	rep := Report{Benchmarks: []Bench{{Name: "TrainStepBatched", NsPerOp: 1300}}}
-	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
+	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}, io.Discard) {
 		t.Error("a +30% regression must fail a 15% gate")
 	}
 }
@@ -53,7 +56,7 @@ func TestGateFailsOnMissingGatedBenchmark(t *testing.T) {
 		// ConvForwardBatchGEMM is gone from the fresh run.
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 	}}
-	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "ConvForward|TrainStep", MaxPct: 15}) {
+	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "ConvForward|TrainStep", MaxPct: 15}, io.Discard) {
 		t.Error("a gated benchmark missing from the fresh run must fail the gate")
 	}
 }
@@ -66,7 +69,7 @@ func TestGateNewBenchmarkDoesNotFail(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 		{Name: "TrainStepTail", NsPerOp: 123}, // new coverage, no baseline entry
 	}}
-	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}) {
+	if !gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}, io.Discard) {
 		t.Error("new benchmarks without baseline entries are not regressions")
 	}
 }
@@ -85,19 +88,48 @@ func TestGateNoisyBand(t *testing.T) {
 		{Name: "TrainStepBatched", NsPerOp: 1000},
 		{Name: "ServeQPSQuantBatched", NsPerOp: 1300}, // +30%: inside the noisy band
 	}}
-	if !gateAgainstBaseline(rep, base, spec) {
+	if !gateAgainstBaseline(rep, base, spec, io.Discard) {
 		t.Error("+30% on a noisy benchmark must pass a 40% noisy band")
 	}
 
 	rep.Benchmarks[1].NsPerOp = 1500 // +50%: past even the noisy band
-	if gateAgainstBaseline(rep, base, spec) {
+	if gateAgainstBaseline(rep, base, spec, io.Discard) {
 		t.Error("+50% on a noisy benchmark must fail a 40% noisy band")
 	}
 
 	rep.Benchmarks[1].NsPerOp = 1000
 	rep.Benchmarks[0].NsPerOp = 1300 // +30% on the tight band
-	if gateAgainstBaseline(rep, base, spec) {
+	if gateAgainstBaseline(rep, base, spec, io.Discard) {
 		t.Error("the noisy band must not widen the budget of non-noisy benchmarks")
+	}
+}
+
+// TestGateFailureMessageNamesOffender pins the failure-message contract:
+// the REGRESSION summary must name every offending benchmark with its
+// baseline and fresh ns/op and the delta, so the tail of a CI log says what
+// regressed without scrolling back through the comparison table.
+func TestGateFailureMessageNamesOffender(t *testing.T) {
+	base := writeBaseline(t, Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1000},
+		{Name: "QuantTrainStep", NsPerOp: 2000},
+	}})
+	rep := Report{Benchmarks: []Bench{
+		{Name: "TrainStepBatched", NsPerOp: 1300}, // +30% past a 15% budget
+		{Name: "QuantTrainStep", NsPerOp: 2100},   // +5%: fine
+	}}
+	var buf bytes.Buffer
+	if gateAgainstBaseline(rep, base, gateSpec{Pattern: "TrainStep", MaxPct: 15}, &buf) {
+		t.Fatal("a +30% regression must fail a 15% gate")
+	}
+	out := buf.String()
+	summary := out[strings.Index(out, "REGRESSION"):]
+	for _, want := range []string{"TrainStepBatched", "1000", "1300", "+30.0%", "budget +15%"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("failure summary lacks %q:\n%s", want, summary)
+		}
+	}
+	if strings.Contains(summary, "QuantTrainStep") {
+		t.Errorf("failure summary names a benchmark inside budget:\n%s", summary)
 	}
 }
 

@@ -65,6 +65,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	backend := flag.String("backend", "", "inference backend for the greedy evaluation: "+
 		strings.Join(nn.BackendNames(), ", ")+" (default: the direct float path)")
+	trainBackend := flag.String("train-backend", "", "trainable backend for the online phase "+
+		"(quant-train runs every TD update in 16-bit fixed point with stochastic rounding; "+
+		"default: the float training path)")
 	actors := flag.Int("actors", 1, "concurrent actors for the online-learning phase "+
 		"(1 = the deterministic serial schedule)")
 	curriculum := flag.Bool("curriculum", false, "train through the staged curriculum ladder "+
@@ -82,6 +85,11 @@ func main() {
 	if *backend != "" && !nn.HasBackend(*backend) {
 		fmt.Fprintf(os.Stderr, "unknown backend %q: registered backends are %s\n",
 			*backend, strings.Join(nn.BackendNames(), ", "))
+		os.Exit(2)
+	}
+	if *trainBackend != "" && !nn.HasBackend(*trainBackend) {
+		fmt.Fprintf(os.Stderr, "unknown train backend %q: registered backends are %s\n",
+			*trainBackend, strings.Join(nn.BackendNames(), ", "))
 		os.Exit(2)
 	}
 	if *actors < 1 {
@@ -179,6 +187,9 @@ func main() {
 	if *backend != "" {
 		extra = append(extra, rl.WithEvalBackend(*backend))
 	}
+	if *trainBackend != "" {
+		extra = append(extra, rl.WithTrainBackend(*trainBackend))
+	}
 	if *actors > 1 {
 		extra = append(extra, rl.WithActors(*actors))
 	}
@@ -206,6 +217,11 @@ func main() {
 		t.Add("actors", fmt.Sprint(res.Actors))
 		t.Add("policy publishes", fmt.Sprint(res.Publishes))
 		t.Add("publish energy (mJ)", report.Num(res.PublishMJ))
+	}
+	if res.TrainBackend != "" {
+		t.Add("train backend", res.TrainBackend)
+		t.Add("train energy (mJ)", report.Num(res.TrainCost.EnergyMJ))
+		t.Add("train latency (ms)", report.Num(res.TrainCost.LatencyMS))
 	}
 	t.Add("eval SFD (m)", report.Num(res.Eval.SafeFlightDistance()))
 	t.Add("eval crashes", fmt.Sprint(res.Eval.Crashes()))

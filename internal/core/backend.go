@@ -26,6 +26,10 @@ const (
 	// SystolicBackendName is the PE-array emulation with per-run energy
 	// ledgers.
 	SystolicBackendName = "systolic"
+	// QuantTrainBackendName is the trainable 16-bit fixed-point engine:
+	// integer forward/backward and stochastically-rounded weight updates,
+	// selected through rl.WithTrainBackend rather than WithEvalBackend.
+	QuantTrainBackendName = "quant-train"
 )
 
 // backendLedger extracts a backend's per-device energy ledger, nil for

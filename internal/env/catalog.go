@@ -156,6 +156,17 @@ func IndoorHouse(seed int64) *World {
 	return b.world("indoor house", "indoor", indoorDFrame, indoorCollision, DefaultIndoorCamera())
 }
 
+// IndoorEasy generates a sparse open room at the loose end of the indoor
+// d_min range (1.3 m, Fig. 1(c)'s "Indoor 3"): no interior walls, light
+// round clutter. It is the convergence-test workload — easy enough that a
+// short online run reaches a stable reward, which is what the quantized-vs-
+// float training parity tests need.
+func IndoorEasy(seed int64) *World {
+	b := newBuilder(seed, geom.Rect{Min: geom.Vec2{}, Max: geom.Vec2{X: 22, Y: 22}}, 1.3)
+	b.circles(8, 0.25, 0.45)
+	return b.world("indoor easy", "indoor", indoorDFrame, indoorCollision, DefaultIndoorCamera())
+}
+
 // IndoorMeta generates the indoor meta-environment used for transfer
 // learning: a larger, more varied interior spanning the full indoor d_min
 // range (0.7–1.3 m) with walls, round and boxy clutter.

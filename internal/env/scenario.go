@@ -172,6 +172,11 @@ func init() {
 
 	// Extensions beyond the paper's six worlds.
 	mustRegisterScenario(Scenario{
+		Name: "indoor-easy", Kind: "indoor",
+		Description: "sparse open room at the loose indoor spacing (d_min 1.3 m), the convergence-test workload",
+		Build:       IndoorEasy,
+	})
+	mustRegisterScenario(Scenario{
 		Name: "outdoor-meta-rich", Kind: "outdoor",
 		Description: "outdoor meta-world augmented with town-like boxes (richer-meta ablation)",
 		Build:       OutdoorMetaRich,

@@ -1,0 +1,142 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSRRoundExpectation checks the defining property of stochastic
+// rounding: E[Round(v, shift)] = v / 2^shift. Each case averages many
+// independent roundings and requires the empirical mean within 5 sigma of
+// the exact value (per-draw variance is at most 1/4).
+func TestSRRoundExpectation(t *testing.T) {
+	const n = 200000
+	cases := []struct {
+		v     int64
+		shift uint
+	}{
+		{5, 4},     // 0.3125
+		{-5, 4},    // -0.3125
+		{1, 10},    // far below half an LSB
+		{1023, 10}, // just below one LSB
+		{-1, 16},   // tiny negative
+		{12345, 8}, // mixed integer + fraction
+		{-12345, 8},
+	}
+	for _, c := range cases {
+		s := NewSR(42)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Round(c.v, c.shift))
+		}
+		mean := sum / n
+		want := float64(c.v) / float64(int64(1)<<c.shift)
+		sigma := 0.5 / math.Sqrt(n)
+		if math.Abs(mean-want) > 5*sigma {
+			t.Errorf("Round(%d, %d): mean %v, want %v +/- %v", c.v, c.shift, mean, want, 5*sigma)
+		}
+	}
+}
+
+// TestSRRoundExactValuesDeterministic checks that values with no discarded
+// fraction round without consuming randomness, and that the floor/floor+1
+// support is respected for the rest.
+func TestSRRoundExactValuesDeterministic(t *testing.T) {
+	s := NewSR(7)
+	for _, v := range []int64{0, 16, -16, 1 << 20, -(1 << 20)} {
+		if got := s.Round(v, 4); got != v>>4 {
+			t.Errorf("Round(%d, 4) = %d, want %d", v, got, v>>4)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		got := s.Round(7, 4) // 0.4375: must be 0 or 1
+		if got != 0 && got != 1 {
+			t.Fatalf("Round(7, 4) = %d, want 0 or 1", got)
+		}
+		got = s.Round(-7, 4) // -0.4375: must be -1 or 0
+		if got != -1 && got != 0 {
+			t.Fatalf("Round(-7, 4) = %d, want -1 or 0", got)
+		}
+	}
+}
+
+// TestSRFixedSeedBitReproducible asserts the determinism contract the
+// quantized training path depends on: two rounders with the same seed
+// produce the identical decision stream, and a different seed produces a
+// different one.
+func TestSRFixedSeedBitReproducible(t *testing.T) {
+	a, b := NewSR(99), NewSR(99)
+	c := NewSR(100)
+	same, diff := true, false
+	for i := 0; i < 10000; i++ {
+		va, vb := a.Round(3, 5), b.Round(3, 5)
+		if va != vb {
+			same = false
+		}
+		if va != c.Round(3, 5) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same-seed SR streams diverged")
+	}
+	if !diff {
+		t.Fatal("different-seed SR streams never diverged (suspicious generator)")
+	}
+}
+
+// TestStochasticUpdateMatchesFloat is the weight-update statistics test:
+// repeatedly applying an update smaller than half a weight LSB must move
+// the quantized weight by the float-exact total in expectation. The
+// deterministic round-to-nearest path provably never moves (each update
+// rounds to zero), which is exactly the vanishing-update failure stochastic
+// rounding exists to fix. Bound: the sum of N independent roundings has
+// standard deviation at most sqrt(N)/2 LSB; we allow 5 sigma.
+func TestStochasticUpdateMatchesFloat(t *testing.T) {
+	const (
+		n     = 50000
+		shift = 16
+		delta = 19661 // 0.3 of a weight LSB, at scale 2^shift
+	)
+	s := NewSR(1234)
+	var w int64 // quantized weight, in weight-LSB units
+	for i := 0; i < n; i++ {
+		w += s.Round(delta, shift)
+		// The deterministic alternative: (delta + half) >> shift == 0, so a
+		// round-to-nearest update would leave the weight at zero forever.
+		if det := (delta + 1<<(shift-1)) >> shift; det != 0 {
+			t.Fatalf("test premise broken: deterministic rounding moves by %d", det)
+		}
+	}
+	want := float64(n) * float64(delta) / (1 << shift)
+	sigma := math.Sqrt(n) / 2
+	if math.Abs(float64(w)-want) > 5*sigma {
+		t.Errorf("after %d sub-LSB updates: weight %d LSB, want %.1f +/- %.1f", n, w, want, 5*sigma)
+	}
+	if w == 0 {
+		t.Error("stochastic updates never moved the weight")
+	}
+}
+
+// TestFromFloatStochastic checks expectation and saturation of the float
+// encoder variant.
+func TestFromFloatStochastic(t *testing.T) {
+	s := NewSR(5)
+	const n = 100000
+	x := 0.1234 // not representable in Q7.8
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Q78.ToFloat(Q78.FromFloatStochastic(x, s))
+	}
+	mean := sum / n
+	sigma := Q78.Eps() / 2 / math.Sqrt(n)
+	if math.Abs(mean-x) > 5*sigma {
+		t.Errorf("FromFloatStochastic(%v): mean %v, want within %v", x, mean, 5*sigma)
+	}
+	if got := Q78.FromFloatStochastic(1e6, s); got != math.MaxInt16 {
+		t.Errorf("FromFloatStochastic(+big) = %d, want saturation at %d", got, math.MaxInt16)
+	}
+	if got := Q78.FromFloatStochastic(-1e6, s); got != math.MinInt16 {
+		t.Errorf("FromFloatStochastic(-big) = %d, want saturation at %d", got, math.MinInt16)
+	}
+}

@@ -87,15 +87,7 @@ func (c *Conv2D) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
 	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.Pad)
 	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.Pad)
 	np := oh * ow
-	colw := c.InC * c.KH * c.KW
-	colsT := c.panel(convSlotColsT, colw, b*np)
-	tensor.Im2ColTInto(colsT, in, c.KH, c.KW, c.Stride, c.Pad)
 	c.bIn = in
-	if c.DisableColsCaching {
-		c.bColsT = nil // BackwardBatch re-expands from bIn
-	} else {
-		c.bColsT = colsT
-	}
 	c.bB, c.bOutH, c.bOutW = b, oh, ow
 	c.bInH, c.bInW = h, w
 	// One GEMM for the whole batch: gemm (OutC x B*np) = W x colsT. Each
@@ -104,7 +96,19 @@ func (c *Conv2D) ForwardBatch(in *tensor.Tensor) *tensor.Tensor {
 	// pure copy plus the single bias addition the serial path also performs.
 	gemm := c.bArena.Get(convSlotGemm, c.OutC, b*np)
 	gemm.Zero()
-	tensor.MatMulAccumVec(gemm, c.Weight.W, colsT)
+	if c.DisableColsCaching {
+		// Memory-bounded mode never keeps the panel for backward, so don't
+		// build it at all: the fused kernel reads patches straight out of the
+		// NCHW input, bit-identical to the materialized GEMM (the tensor
+		// package's exactness contract). BackwardBatch re-expands from bIn.
+		c.bColsT = nil
+		tensor.ConvGEMMFused(gemm, c.Weight.W, in, c.KH, c.KW, c.Stride, c.Pad)
+	} else {
+		colsT := c.panel(convSlotColsT, c.InC*c.KH*c.KW, b*np)
+		tensor.Im2ColTInto(colsT, in, c.KH, c.KW, c.Stride, c.Pad)
+		c.bColsT = colsT
+		tensor.MatMulAccumVec(gemm, c.Weight.W, colsT)
+	}
 	out := c.bArena.Get(convSlotOut, b, c.OutC, oh, ow)
 	gd := gemm.Data()
 	od := out.Data()

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws arbitrary byte streams at ReadSnapshot — the
+// decoder every meta-model download, checkpoint restore and policy publish
+// runs — and asserts the error contract the transport layers rely on: no
+// panic on any input, truncated streams report ErrSnapshotTruncated, and a
+// successfully decoded snapshot re-encodes cleanly. The seed corpus is the
+// corrupt-gob corpus of TestReadSnapshotTruncated: a whole valid stream,
+// its truncation classes, and a complete-but-foreign gob.
+func FuzzSnapshotDecode(f *testing.F) {
+	net := NewNetwork(
+		NewDense("FC1", 4, 8),
+		NewReLU("RELU1"),
+		NewDense("FC2", 8, 2),
+	)
+	snap := TakeSnapshot(net, "fuzz-net")
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	for _, cut := range []int{0, 3, len(whole) / 2, len(whole) - 1} {
+		f.Add(whole[:cut])
+	}
+	var foreign bytes.Buffer
+	if err := gob.NewEncoder(&foreign).Encode("not a snapshot"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(foreign.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			// The sentinel classification must itself be well-defined.
+			_ = errors.Is(err, ErrSnapshotTruncated)
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Encode(&out); err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+	})
+}

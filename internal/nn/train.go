@@ -1,0 +1,38 @@
+package nn
+
+import "dronerl/internal/tensor"
+
+// TrainBatch is one minibatch of Q-learning transitions handed to a
+// trainable backend: the stacked observations plus the per-sample scalars
+// the TD(0) update needs. States and Nexts are (B, C, H, W) stacks in the
+// ForwardBatch layout; rows of Nexts whose Done flag is set hold zeros and
+// must not contribute a bootstrap term.
+type TrainBatch struct {
+	States, Nexts *tensor.Tensor
+	Actions       []int
+	Rewards       []float64
+	Done          []bool
+	// Gamma is the discount factor and LR the learning rate of this update
+	// (passed per batch so schedule changes need no backend rebuild).
+	Gamma, LR float64
+}
+
+// TrainableBackend is the optional training hook of a Backend: backends
+// that own their parameters — the quantized fixed-point engine, where the
+// authoritative weights are integer words in the modeled STT-MRAM stack —
+// implement the whole TD update themselves instead of delegating to the
+// float network's backward pass. rl.Agent.TrainStep routes the sampled
+// minibatch here when the options select a trainable backend, so every
+// consumer of TrainStep (the online loop, the distributed learner, the
+// curriculum runner) trains through the backend without knowing it exists.
+type TrainableBackend interface {
+	Backend
+	// Train performs one minibatch TD(0) update on the backend's own
+	// parameters and returns the batch-mean squared TD error. Backends that
+	// mirror into a float network (so snapshots, publishes and evaluation
+	// see the trained weights) do so before returning.
+	Train(b TrainBatch) float64
+	// SyncTarget copies the online parameters into the backend's bootstrap
+	// target network, on the agent's TargetSync cadence.
+	SyncTarget()
+}

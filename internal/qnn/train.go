@@ -1,0 +1,782 @@
+package qnn
+
+import (
+	"fmt"
+
+	"dronerl/internal/fixed"
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// Fixed-point training engine: forward, backward and weight update executed
+// in the accelerator's integer arithmetic, the regime Roy et al. study for
+// MRAM training scratchpads (PAPERS.md). Where the inference engine
+// (qnn.go) saturates every MAC — the PE datapath's behaviour — the training
+// engine follows the int16 GEMM kernels' contract (tensor/int16.go):
+// products widen into wrap-around accumulators and saturate exactly once at
+// the final narrow, which is what lets the Dense hot path run on the
+// vectorized Dot16/MatVec16 kernels. Gradients accumulate in 64-bit
+// Q-format scratchpads (the "sum of weight and bias gradients" scratchpad
+// of Section V, widened so batch accumulation cannot wrap), and the weight
+// update applies lr·grad with *stochastic* rounding (fixed.SR): a
+// deterministic round would silently drop every update below half a weight
+// LSB — most late-training updates — where the stochastic round is correct
+// in expectation, so small gradients keep accumulating across steps.
+//
+// Format plan (defaults): activations Q7.8, weights Q2.13, activation
+// gradients Q7.8, learning-rate scale 2^16. Accumulator scales follow from
+// the products: forward 2^(8+13), weight gradients 2^(8+8), input
+// gradients 2^(8+13).
+
+// TrainOptions configures CompileTrainable. Zero values select the
+// documented defaults.
+type TrainOptions struct {
+	// WeightFmt encodes weights and biases (default Q2.13, as Compile).
+	WeightFmt fixed.Format
+	// ActFmt encodes activations (default Q7.8, as Compile).
+	ActFmt fixed.Format
+	// GradFmt encodes activation gradients flowing backward (default Q7.8).
+	GradFmt fixed.Format
+	// LRFrac is the fixed-point fraction of the scaled learning rate
+	// (default 16 bits).
+	LRFrac uint
+	// Seed seeds the stochastic-rounding stream; a fixed seed makes the
+	// whole training run bit-reproducible (default 1).
+	Seed uint64
+}
+
+func (o *TrainOptions) setDefaults() {
+	zero := fixed.Format{}
+	if o.WeightFmt == zero {
+		o.WeightFmt = fixed.Format{Frac: 13}
+	}
+	if o.ActFmt == zero {
+		o.ActFmt = fixed.Q78
+	}
+	if o.GradFmt == zero {
+		o.GradFmt = fixed.Q78
+	}
+	if o.LRFrac == 0 {
+		o.LRFrac = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// sat16 clamps a 64-bit value into int16.
+func sat16(v int64) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// narrow64 rescales a 2^shift-scaled accumulator to an int16 word with
+// round-half-up and one final saturation — the training engine's only
+// saturation point, per the wrap-around contract.
+func narrow64(v int64, shift uint) int16 {
+	if shift > 0 {
+		v = (v + int64(1)<<(shift-1)) >> shift
+	}
+	return sat16(v)
+}
+
+// tLayer is one stage of the fixed-point training pipeline. forward caches
+// whatever backward needs for the same sample; backward accumulates
+// gradient scratchpads and returns the input gradient in GradFmt.
+type tLayer interface {
+	name() string
+	forward(in []int16, shape [3]int) ([]int16, [3]int)
+	backward(g []int16, needInput bool) []int16
+	// update applies the accumulated gradients with the given fixed-point
+	// learning rate and clears the scratchpads; stateless layers no-op.
+	update(lrFixed int64, lrFrac uint, sr *fixed.SR)
+	// gradMaxAbs returns the largest |gradient| in real units, for clipping.
+	gradMaxAbs() float64
+	// scaleGrads multiplies every gradient scratchpad by sFixed/2^15.
+	scaleGrads(sFixed int64)
+	// weightBits is the layer's weight-store footprint in bits (0 for
+	// stateless layers).
+	weightBits() int64
+}
+
+// tConv is the fixed-point trainable convolution (CHW, square kernel).
+type tConv struct {
+	layerName            string
+	inC, outC            int
+	k, stride, pad       int
+	w, b                 []int16
+	gw, gb               []int64
+	aFrac, wFrac, gFrac  uint
+	in                   []int16
+	inH, inW, outH, outW int
+	out                  []int16
+	gin                  []int64
+	ginW                 []int16
+}
+
+func (c *tConv) name() string      { return c.layerName }
+func (c *tConv) weightBits() int64 { return int64(len(c.w)+len(c.b)) * 16 }
+
+func (c *tConv) forward(in []int16, shape [3]int) ([]int16, [3]int) {
+	h, w := shape[1], shape[2]
+	oh := (h+2*c.pad-c.k)/c.stride + 1
+	ow := (w+2*c.pad-c.k)/c.stride + 1
+	c.in, c.inH, c.inW, c.outH, c.outW = in, h, w, oh, ow
+	if cap(c.out) < c.outC*oh*ow {
+		c.out = make([]int16, c.outC*oh*ow)
+	}
+	c.out = c.out[:c.outC*oh*ow]
+	colw := c.inC * c.k * c.k
+	for oc := 0; oc < c.outC; oc++ {
+		wrow := c.w[oc*colw : (oc+1)*colw]
+		bias := int64(c.b[oc]) << c.aFrac // to the 2^(a+w) product scale
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := bias
+				p := 0
+				for ic := 0; ic < c.inC; ic++ {
+					base := ic * h * w
+					for ky := 0; ky < c.k; ky++ {
+						iy := oy*c.stride - c.pad + ky
+						for kx := 0; kx < c.k; kx++ {
+							ix := ox*c.stride - c.pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								acc += int64(in[base+iy*w+ix]) * int64(wrow[p])
+							}
+							p++
+						}
+					}
+				}
+				c.out[oc*oh*ow+oy*ow+ox] = narrow64(acc, c.wFrac)
+			}
+		}
+	}
+	return c.out, [3]int{c.outC, oh, ow}
+}
+
+func (c *tConv) backward(g []int16, needInput bool) []int16 {
+	h, w, oh, ow := c.inH, c.inW, c.outH, c.outW
+	colw := c.inC * c.k * c.k
+	if needInput {
+		if cap(c.gin) < c.inC*h*w {
+			c.gin = make([]int64, c.inC*h*w)
+		}
+		c.gin = c.gin[:c.inC*h*w]
+		for i := range c.gin {
+			c.gin[i] = 0
+		}
+	}
+	for oc := 0; oc < c.outC; oc++ {
+		wrow := c.w[oc*colw : (oc+1)*colw]
+		grow := c.gw[oc*colw : (oc+1)*colw]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := int64(g[oc*oh*ow+oy*ow+ox])
+				if gv == 0 {
+					continue
+				}
+				c.gb[oc] += gv
+				p := 0
+				for ic := 0; ic < c.inC; ic++ {
+					base := ic * h * w
+					for ky := 0; ky < c.k; ky++ {
+						iy := oy*c.stride - c.pad + ky
+						for kx := 0; kx < c.k; kx++ {
+							ix := ox*c.stride - c.pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								pix := base + iy*w + ix
+								grow[p] += gv * int64(c.in[pix])
+								if needInput {
+									c.gin[pix] += gv * int64(wrow[p])
+								}
+							}
+							p++
+						}
+					}
+				}
+			}
+		}
+	}
+	if !needInput {
+		return nil
+	}
+	if cap(c.ginW) < len(c.gin) {
+		c.ginW = make([]int16, len(c.gin))
+	}
+	c.ginW = c.ginW[:len(c.gin)]
+	for i, v := range c.gin {
+		c.ginW[i] = narrow64(v, c.wFrac) // scale g+w -> g
+	}
+	return c.ginW
+}
+
+func (c *tConv) update(lrFixed int64, lrFrac uint, sr *fixed.SR) {
+	wShift := c.gFrac + c.aFrac + lrFrac - c.wFrac
+	for i, gv := range c.gw {
+		if gv != 0 {
+			c.w[i] = sat16(int64(c.w[i]) - sr.Round(gv*lrFixed, wShift))
+		}
+		c.gw[i] = 0
+	}
+	bShift := c.gFrac + lrFrac - c.wFrac
+	for i, gv := range c.gb {
+		if gv != 0 {
+			c.b[i] = sat16(int64(c.b[i]) - sr.Round(gv*lrFixed, bShift))
+		}
+		c.gb[i] = 0
+	}
+}
+
+func (c *tConv) gradMaxAbs() float64 {
+	return maxAbsScaled(c.gw, c.gFrac+c.aFrac, maxAbsScaled(c.gb, c.gFrac, 0))
+}
+
+func (c *tConv) scaleGrads(sFixed int64) {
+	scaleInts(c.gw, sFixed)
+	scaleInts(c.gb, sFixed)
+}
+
+// tDense is the fixed-point trainable fully-connected layer. Its forward
+// pass runs on the int16 GEMM kernels: one MatVec16 (wrap-around int32
+// accumulation, AVX2 VPMADDWD on amd64) and a single narrow per output.
+type tDense struct {
+	layerName           string
+	in, out             int
+	w, b                []int16
+	gw, gb              []int64
+	aFrac, wFrac, gFrac uint
+	x                   []int16
+	acc                 []int32
+	outW                []int16
+	gin                 []int64
+	ginW                []int16
+}
+
+func (d *tDense) name() string      { return d.layerName }
+func (d *tDense) weightBits() int64 { return int64(len(d.w)+len(d.b)) * 16 }
+
+func (d *tDense) forward(in []int16, shape [3]int) ([]int16, [3]int) {
+	if len(in) != d.in {
+		panic(fmt.Sprintf("qnn: %s expects %d inputs, got %d", d.layerName, d.in, len(in)))
+	}
+	d.x = in
+	if cap(d.acc) < d.out {
+		d.acc = make([]int32, d.out)
+		d.outW = make([]int16, d.out)
+	}
+	d.acc, d.outW = d.acc[:d.out], d.outW[:d.out]
+	tensor.MatVec16(d.acc, d.w, in)
+	for j, a := range d.acc {
+		d.outW[j] = narrow64(int64(a)+int64(d.b[j])<<d.aFrac, d.wFrac)
+	}
+	return d.outW, [3]int{d.out, 1, 1}
+}
+
+func (d *tDense) backward(g []int16, needInput bool) []int16 {
+	if needInput {
+		if cap(d.gin) < d.in {
+			d.gin = make([]int64, d.in)
+			d.ginW = make([]int16, d.in)
+		}
+		d.gin, d.ginW = d.gin[:d.in], d.ginW[:d.in]
+		for i := range d.gin {
+			d.gin[i] = 0
+		}
+	}
+	for j := 0; j < d.out; j++ {
+		gv := int64(g[j])
+		if gv == 0 {
+			continue
+		}
+		d.gb[j] += gv
+		wrow := d.w[j*d.in : (j+1)*d.in]
+		grow := d.gw[j*d.in : (j+1)*d.in]
+		for i, xv := range d.x {
+			grow[i] += gv * int64(xv)
+			if needInput {
+				d.gin[i] += gv * int64(wrow[i])
+			}
+		}
+	}
+	if !needInput {
+		return nil
+	}
+	for i, v := range d.gin {
+		d.ginW[i] = narrow64(v, d.wFrac)
+	}
+	return d.ginW
+}
+
+func (d *tDense) update(lrFixed int64, lrFrac uint, sr *fixed.SR) {
+	wShift := d.gFrac + d.aFrac + lrFrac - d.wFrac
+	for i, gv := range d.gw {
+		if gv != 0 {
+			d.w[i] = sat16(int64(d.w[i]) - sr.Round(gv*lrFixed, wShift))
+		}
+		d.gw[i] = 0
+	}
+	bShift := d.gFrac + lrFrac - d.wFrac
+	for i, gv := range d.gb {
+		if gv != 0 {
+			d.b[i] = sat16(int64(d.b[i]) - sr.Round(gv*lrFixed, bShift))
+		}
+		d.gb[i] = 0
+	}
+}
+
+func (d *tDense) gradMaxAbs() float64 {
+	return maxAbsScaled(d.gw, d.gFrac+d.aFrac, maxAbsScaled(d.gb, d.gFrac, 0))
+}
+
+func (d *tDense) scaleGrads(sFixed int64) {
+	scaleInts(d.gw, sFixed)
+	scaleInts(d.gb, sFixed)
+}
+
+// tReLU is the integer rectifier; backward masks by the cached input sign.
+type tReLU struct {
+	layerName string
+	in        []int16
+	out       []int16
+}
+
+func (r *tReLU) name() string      { return r.layerName }
+func (r *tReLU) weightBits() int64 { return 0 }
+
+func (r *tReLU) forward(in []int16, shape [3]int) ([]int16, [3]int) {
+	r.in = in
+	if cap(r.out) < len(in) {
+		r.out = make([]int16, len(in))
+	}
+	r.out = r.out[:len(in)]
+	for i, v := range in {
+		if v > 0 {
+			r.out[i] = v
+		} else {
+			r.out[i] = 0
+		}
+	}
+	return r.out, shape
+}
+
+func (r *tReLU) backward(g []int16, needInput bool) []int16 {
+	if !needInput {
+		return nil
+	}
+	for i := range g {
+		if r.in[i] <= 0 {
+			g[i] = 0
+		}
+	}
+	return g
+}
+
+func (r *tReLU) update(int64, uint, *fixed.SR) {}
+func (r *tReLU) gradMaxAbs() float64           { return 0 }
+func (r *tReLU) scaleGrads(int64)              {}
+
+// tPool is integer max pooling; backward routes gradients to the cached
+// argmax positions (summed in 32-bit where windows overlap, one narrow).
+type tPool struct {
+	layerName string
+	k, stride int
+	arg       []int32
+	inLen     int
+	shape     [3]int
+	out       []int16
+	gin32     []int32
+	ginW      []int16
+}
+
+func (m *tPool) name() string      { return m.layerName }
+func (m *tPool) weightBits() int64 { return 0 }
+
+func (m *tPool) forward(in []int16, shape [3]int) ([]int16, [3]int) {
+	c, h, w := shape[0], shape[1], shape[2]
+	oh := (h-m.k)/m.stride + 1
+	ow := (w-m.k)/m.stride + 1
+	m.inLen, m.shape = len(in), shape
+	if cap(m.out) < c*oh*ow {
+		m.out = make([]int16, c*oh*ow)
+		m.arg = make([]int32, c*oh*ow)
+	}
+	m.out, m.arg = m.out[:c*oh*ow], m.arg[:c*oh*ow]
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bi := base + oy*m.stride*w + ox*m.stride
+				best, bestIdx := in[bi], int32(bi)
+				for ky := 0; ky < m.k; ky++ {
+					for kx := 0; kx < m.k; kx++ {
+						idx := base + (oy*m.stride+ky)*w + ox*m.stride + kx
+						if in[idx] > best {
+							best, bestIdx = in[idx], int32(idx)
+						}
+					}
+				}
+				o := ch*oh*ow + oy*ow + ox
+				m.out[o], m.arg[o] = best, bestIdx
+			}
+		}
+	}
+	return m.out, [3]int{c, oh, ow}
+}
+
+func (m *tPool) backward(g []int16, needInput bool) []int16 {
+	if !needInput {
+		return nil
+	}
+	if cap(m.gin32) < m.inLen {
+		m.gin32 = make([]int32, m.inLen)
+		m.ginW = make([]int16, m.inLen)
+	}
+	m.gin32, m.ginW = m.gin32[:m.inLen], m.ginW[:m.inLen]
+	for i := range m.gin32 {
+		m.gin32[i] = 0
+	}
+	for o, idx := range m.arg {
+		m.gin32[idx] += int32(g[o])
+	}
+	for i, v := range m.gin32 {
+		m.ginW[i] = sat16(int64(v))
+	}
+	return m.ginW
+}
+
+func (m *tPool) update(int64, uint, *fixed.SR) {}
+func (m *tPool) gradMaxAbs() float64           { return 0 }
+func (m *tPool) scaleGrads(int64)              {}
+
+// tFlatten is a shape change only.
+type tFlatten struct{ layerName string }
+
+func (f *tFlatten) name() string      { return f.layerName }
+func (f *tFlatten) weightBits() int64 { return 0 }
+func (f *tFlatten) forward(in []int16, shape [3]int) ([]int16, [3]int) {
+	return in, [3]int{len(in), 1, 1}
+}
+func (f *tFlatten) backward(g []int16, needInput bool) []int16 {
+	if !needInput {
+		return nil
+	}
+	return g
+}
+func (f *tFlatten) update(int64, uint, *fixed.SR) {}
+func (f *tFlatten) gradMaxAbs() float64           { return 0 }
+func (f *tFlatten) scaleGrads(int64)              {}
+
+func maxAbsScaled(vs []int64, frac uint, cur float64) float64 {
+	var m int64
+	for _, v := range vs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	if f := float64(m) / float64(int64(1)<<frac); f > cur {
+		return f
+	}
+	return cur
+}
+
+// scaleInts multiplies every value by sFixed/2^15, truncating — the
+// pre-rounding clip step, before stochastic rounding sees the gradients.
+func scaleInts(vs []int64, sFixed int64) {
+	for i, v := range vs {
+		vs[i] = v * sFixed >> 15
+	}
+}
+
+// TrainNetwork is a compiled fixed-point *trainable* network: the
+// counterpart of Network whose weights are mutable integer words updated in
+// place by the quantized TD step.
+type TrainNetwork struct {
+	layers    []tLayer
+	trainFrom int
+	opts      TrainOptions
+	sr        *fixed.SR
+	qin       []int16
+	gq        []int16
+	outF      []float32
+}
+
+// CompileTrainable converts a float network into the fixed-point training
+// engine, quantizing current weights and inheriting the network's training
+// boundary (SetConfig topology): frozen layers run forward only and are
+// never updated. Supported layers match Compile (LRN rejected).
+func CompileTrainable(src *nn.Network, opts TrainOptions) (*TrainNetwork, error) {
+	opts.setDefaults()
+	tn := &TrainNetwork{
+		opts:      opts,
+		trainFrom: src.TrainFrom(),
+		sr:        fixed.NewSR(opts.Seed),
+	}
+	aFrac, wFrac, gFrac := opts.ActFmt.Frac, opts.WeightFmt.Frac, opts.GradFmt.Frac
+	for _, l := range src.Layers {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			if t.KH != t.KW {
+				return nil, fmt.Errorf("qnn: %s has non-square kernel %dx%d", t.LayerName, t.KH, t.KW)
+			}
+			tn.layers = append(tn.layers, &tConv{
+				layerName: t.LayerName,
+				inC:       t.InC, outC: t.OutC,
+				k: t.KH, stride: t.Stride, pad: t.Pad,
+				w:     quantize16(t.Weight.W.Data(), opts.WeightFmt),
+				b:     quantize16(t.Bias.W.Data(), opts.WeightFmt),
+				gw:    make([]int64, t.Weight.W.Len()),
+				gb:    make([]int64, t.Bias.W.Len()),
+				aFrac: aFrac, wFrac: wFrac, gFrac: gFrac,
+			})
+		case *nn.Dense:
+			tn.layers = append(tn.layers, &tDense{
+				layerName: t.LayerName,
+				in:        t.In, out: t.Out,
+				w:     quantize16(t.Weight.W.Data(), opts.WeightFmt),
+				b:     quantize16(t.Bias.W.Data(), opts.WeightFmt),
+				gw:    make([]int64, t.Weight.W.Len()),
+				gb:    make([]int64, t.Bias.W.Len()),
+				aFrac: aFrac, wFrac: wFrac, gFrac: gFrac,
+			})
+		case *nn.ReLU:
+			tn.layers = append(tn.layers, &tReLU{layerName: t.LayerName})
+		case *nn.MaxPool:
+			tn.layers = append(tn.layers, &tPool{layerName: t.LayerName, k: t.K, stride: t.Stride})
+		case *nn.Flatten:
+			tn.layers = append(tn.layers, &tFlatten{layerName: t.LayerName})
+		case *nn.LRN:
+			return nil, fmt.Errorf("qnn: %s: LRN is not supported by the integer engine", t.LayerName)
+		default:
+			return nil, fmt.Errorf("qnn: unsupported layer type %T", l)
+		}
+	}
+	return tn, nil
+}
+
+func quantize16(xs []float32, f fixed.Format) []int16 {
+	out := make([]int16, len(xs))
+	for i, x := range xs {
+		out[i] = int16(f.FromFloat(float64(x)))
+	}
+	return out
+}
+
+// Forward quantizes a float CHW observation, runs the integer pipeline
+// caching per-layer state for Backward, and returns the dequantized
+// Q-values. The returned slice is reused by the next call.
+func (tn *TrainNetwork) Forward(data []float32, shape [3]int) []float32 {
+	if cap(tn.qin) < len(data) {
+		tn.qin = make([]int16, len(data))
+	}
+	tn.qin = tn.qin[:len(data)]
+	for i, v := range data {
+		tn.qin[i] = int16(tn.opts.ActFmt.FromFloat(float64(v)))
+	}
+	x, sh := tn.qin, shape
+	for _, l := range tn.layers {
+		x, sh = l.forward(x, sh)
+	}
+	if cap(tn.outF) < len(x) {
+		tn.outF = make([]float32, len(x))
+	}
+	tn.outF = tn.outF[:len(x)]
+	for i, w := range x {
+		tn.outF[i] = float32(tn.opts.ActFmt.ToFloat(fixed.Word(w)))
+	}
+	return tn.outF
+}
+
+// Backward quantizes the float output gradient *stochastically* — so TD
+// errors below the gradient format's half-LSB still inject signal in
+// expectation — and backpropagates down to the training boundary,
+// accumulating the integer gradient scratchpads. Must follow a Forward call
+// on the same sample.
+func (tn *TrainNetwork) Backward(gradF []float32) {
+	if cap(tn.gq) < len(gradF) {
+		tn.gq = make([]int16, len(gradF))
+	}
+	g := tn.gq[:len(gradF)]
+	for i, v := range gradF {
+		if v != 0 {
+			g[i] = int16(tn.opts.GradFmt.FromFloatStochastic(float64(v), tn.sr))
+		} else {
+			g[i] = 0
+		}
+	}
+	for i := len(tn.layers) - 1; i >= tn.trainFrom; i-- {
+		g = tn.layers[i].backward(g, i > tn.trainFrom)
+	}
+}
+
+// Update clips the accumulated gradients to the given L-infinity limit
+// (clip <= 0 disables), applies one stochastically-rounded SGD step
+// w -= lr/batch · g to every trainable layer, and clears the scratchpads.
+func (tn *TrainNetwork) Update(lr float64, batch int, clip float64) {
+	if batch <= 0 {
+		panic("qnn: Update with non-positive batch size")
+	}
+	if clip > 0 {
+		var m float64
+		for i := tn.trainFrom; i < len(tn.layers); i++ {
+			if v := tn.layers[i].gradMaxAbs(); v > m {
+				m = v
+			}
+		}
+		if m > clip {
+			sFixed := int64(clip / m * (1 << 15))
+			for i := tn.trainFrom; i < len(tn.layers); i++ {
+				tn.layers[i].scaleGrads(sFixed)
+			}
+		}
+	}
+	lrFixed := int64(lr/float64(batch)*float64(int64(1)<<tn.opts.LRFrac) + 0.5)
+	for i := tn.trainFrom; i < len(tn.layers); i++ {
+		tn.layers[i].update(lrFixed, tn.opts.LRFrac, tn.sr)
+	}
+}
+
+// OutDim returns the network's output width (the action count): the last
+// Dense layer's fan-out.
+func (tn *TrainNetwork) OutDim() int {
+	for i := len(tn.layers) - 1; i >= 0; i-- {
+		if d, ok := tn.layers[i].(*tDense); ok {
+			return d.out
+		}
+	}
+	return 0
+}
+
+// WeightBits is the full weight-store footprint in bits; one forward pass
+// streams this many bits from the stack.
+func (tn *TrainNetwork) WeightBits() int64 {
+	var total int64
+	for _, l := range tn.layers {
+		total += l.weightBits()
+	}
+	return total
+}
+
+// TrainableWeightBits is the footprint of the layers above the training
+// boundary — the bits rewritten by every Update and re-read by every
+// Backward.
+func (tn *TrainNetwork) TrainableWeightBits() int64 {
+	var total int64
+	for i := tn.trainFrom; i < len(tn.layers); i++ {
+		total += tn.layers[i].weightBits()
+	}
+	return total
+}
+
+// layerWeights returns the mutable weight/bias words of a layer (nil for
+// stateless layers).
+func layerWeights(l tLayer) (w, b []int16) {
+	switch t := l.(type) {
+	case *tConv:
+		return t.w, t.b
+	case *tDense:
+		return t.w, t.b
+	}
+	return nil, nil
+}
+
+// CopyWeightsFrom copies every weight word from an identically-compiled
+// network — the target-sync primitive.
+func (tn *TrainNetwork) CopyWeightsFrom(src *TrainNetwork) {
+	if len(tn.layers) != len(src.layers) {
+		panic("qnn: CopyWeightsFrom across different architectures")
+	}
+	for i, l := range tn.layers {
+		w, b := layerWeights(l)
+		sw, sb := layerWeights(src.layers[i])
+		copy(w, sw)
+		copy(b, sb)
+	}
+}
+
+// WriteBack dequantizes the trainable layers' weights into the matching
+// float network, so snapshots, policy publishes and float-side evaluation
+// all see what the integer engine learned. Frozen layers are left alone —
+// they still hold the transferred float weights at full precision.
+func (tn *TrainNetwork) WriteBack(dst *nn.Network) error {
+	if len(dst.Layers) != len(tn.layers) {
+		return fmt.Errorf("qnn: WriteBack across different architectures (%d vs %d layers)", len(dst.Layers), len(tn.layers))
+	}
+	for i := tn.trainFrom; i < len(tn.layers); i++ {
+		w, b := layerWeights(tn.layers[i])
+		if w == nil {
+			continue
+		}
+		var pw, pb []float32
+		switch t := dst.Layers[i].(type) {
+		case *nn.Conv2D:
+			pw, pb = t.Weight.W.Data(), t.Bias.W.Data()
+		case *nn.Dense:
+			pw, pb = t.Weight.W.Data(), t.Bias.W.Data()
+		default:
+			return fmt.Errorf("qnn: WriteBack layer %d type mismatch (%T)", i, dst.Layers[i])
+		}
+		if len(pw) != len(w) || len(pb) != len(b) {
+			return fmt.Errorf("qnn: WriteBack layer %d size mismatch", i)
+		}
+		dequantize16(pw, w, tn.opts.WeightFmt)
+		dequantize16(pb, b, tn.opts.WeightFmt)
+	}
+	return nil
+}
+
+func dequantize16(dst []float32, src []int16, f fixed.Format) {
+	for i, v := range src {
+		dst[i] = float32(f.ToFloat(fixed.Word(v)))
+	}
+}
+
+// Clone deep-copies the network's weights into a fresh instance sharing no
+// state — the bootstrap target construction. Gradient scratchpads and
+// caches start empty; the clone gets its own rounding stream.
+func (tn *TrainNetwork) Clone() *TrainNetwork {
+	out := &TrainNetwork{
+		opts:      tn.opts,
+		trainFrom: tn.trainFrom,
+		sr:        fixed.NewSR(tn.opts.Seed + 0x5DEECE66D),
+	}
+	for _, l := range tn.layers {
+		switch t := l.(type) {
+		case *tConv:
+			out.layers = append(out.layers, &tConv{
+				layerName: t.layerName,
+				inC:       t.inC, outC: t.outC,
+				k: t.k, stride: t.stride, pad: t.pad,
+				w:     append([]int16(nil), t.w...),
+				b:     append([]int16(nil), t.b...),
+				gw:    make([]int64, len(t.gw)),
+				gb:    make([]int64, len(t.gb)),
+				aFrac: t.aFrac, wFrac: t.wFrac, gFrac: t.gFrac,
+			})
+		case *tDense:
+			out.layers = append(out.layers, &tDense{
+				layerName: t.layerName,
+				in:        t.in, out: t.out,
+				w:     append([]int16(nil), t.w...),
+				b:     append([]int16(nil), t.b...),
+				gw:    make([]int64, len(t.gw)),
+				gb:    make([]int64, len(t.gb)),
+				aFrac: t.aFrac, wFrac: t.wFrac, gFrac: t.gFrac,
+			})
+		case *tReLU:
+			out.layers = append(out.layers, &tReLU{layerName: t.layerName})
+		case *tPool:
+			out.layers = append(out.layers, &tPool{layerName: t.layerName, k: t.k, stride: t.stride})
+		case *tFlatten:
+			out.layers = append(out.layers, &tFlatten{layerName: t.layerName})
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package qnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// tinyNet is a small trainable stack for fast regression tests: the input is
+// a 1x2x2 "image" flattened into two dense layers.
+func tinyNet(seed int64) *nn.Network {
+	net := nn.NewNetwork(
+		nn.NewFlatten("FLAT"),
+		nn.NewDense("FC1", 4, 8),
+		nn.NewReLU("RELU1"),
+		nn.NewDense("FC2", 8, 2),
+	)
+	net.Init(rand.New(rand.NewSource(seed)))
+	return net
+}
+
+func TestCompileTrainableRejectsLRN(t *testing.T) {
+	if _, err := CompileTrainable(nn.NewNetwork(nn.NewLRN("norm")), TrainOptions{}); err == nil {
+		t.Fatal("expected LRN rejection")
+	}
+}
+
+// TestTrainNetworkForwardCloseToFloat bounds the quantization error of the
+// training engine's forward pass against the float reference on the tiny
+// stack: with Q7.8 activations and Q2.13 weights the output should sit
+// within a few activation LSBs of the float value.
+func TestTrainNetworkForwardCloseToFloat(t *testing.T) {
+	net := tinyNet(3)
+	tn, err := CompileTrainable(net, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 16; trial++ {
+		in := make([]float32, 4)
+		for i := range in {
+			in[i] = rng.Float32()
+		}
+		q := tn.Forward(in, [3]int{1, 2, 2})
+		x := tensor.New(1, 2, 2)
+		copy(x.Data(), in)
+		ref := net.Forward(x).Data()
+		for i := range ref {
+			if d := math.Abs(float64(q[i] - ref[i])); d > 0.05 {
+				t.Fatalf("trial %d output %d: quant %v vs float %v (|d|=%v)", trial, i, q[i], ref[i], d)
+			}
+		}
+	}
+}
+
+// TestTrainNetworkRegression drives the integer engine's full
+// forward/backward/update loop on a fixed regression target and requires the
+// squared error to collapse: the engine must be able to learn, not merely
+// run.
+func TestTrainNetworkRegression(t *testing.T) {
+	tn, err := CompileTrainable(tinyNet(5), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float32{0.3, -0.4, 0.9, 0.1}
+	target := []float32{0.8, -0.5}
+	loss := func() float64 {
+		q := tn.Forward(in, [3]int{1, 2, 2})
+		var l float64
+		for i, v := range q {
+			d := float64(v - target[i])
+			l += d * d
+		}
+		return l
+	}
+	initial := loss()
+	grad := make([]float32, 2)
+	for step := 0; step < 400; step++ {
+		q := tn.Forward(in, [3]int{1, 2, 2})
+		for i := range grad {
+			grad[i] = q[i] - target[i]
+		}
+		tn.Backward(grad)
+		tn.Update(0.05, 1, 1)
+	}
+	final := loss()
+	if final > initial/10 || final > 0.01 {
+		t.Fatalf("regression did not converge: initial %v, final %v", initial, final)
+	}
+}
+
+// TestTrainNetworkBitReproducible asserts the fixed-seed contract: two
+// engines compiled from the same float network with the same TrainOptions
+// produce bit-identical weight words after an identical training schedule.
+func TestTrainNetworkBitReproducible(t *testing.T) {
+	run := func() *TrainNetwork {
+		tn, err := CompileTrainable(tinyNet(9), TrainOptions{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		in := make([]float32, 4)
+		grad := make([]float32, 2)
+		for step := 0; step < 50; step++ {
+			for i := range in {
+				in[i] = rng.Float32()*2 - 1
+			}
+			q := tn.Forward(in, [3]int{1, 2, 2})
+			for i := range grad {
+				grad[i] = q[i] - 0.5
+			}
+			tn.Backward(grad)
+			tn.Update(0.01, 1, 1)
+		}
+		return tn
+	}
+	a, b := run(), run()
+	for i := range a.layers {
+		aw, ab := layerWeights(a.layers[i])
+		bw, bb := layerWeights(b.layers[i])
+		for j := range aw {
+			if aw[j] != bw[j] {
+				t.Fatalf("layer %d weight %d: %d vs %d", i, j, aw[j], bw[j])
+			}
+		}
+		for j := range ab {
+			if ab[j] != bb[j] {
+				t.Fatalf("layer %d bias %d: %d vs %d", i, j, ab[j], bb[j])
+			}
+		}
+	}
+}
+
+// TestTrainNetworkFrozenPrefix compiles NavNet under the L2 transfer
+// topology and asserts the boundary contract: updates leave every frozen
+// layer's integer words untouched, gradients still reach the trainable tail,
+// and WriteBack leaves the frozen float weights bit-identical.
+func TestTrainNetworkFrozenPrefix(t *testing.T) {
+	net := trainedNavNet(13)
+	net.SetConfig(nn.L2)
+	tn, err := CompileTrainable(net, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.trainFrom != net.TrainFrom() {
+		t.Fatalf("trainFrom %d, want %d", tn.trainFrom, net.TrainFrom())
+	}
+	frozenBefore := make([][]int16, tn.trainFrom)
+	for i := 0; i < tn.trainFrom; i++ {
+		if w, _ := layerWeights(tn.layers[i]); w != nil {
+			frozenBefore[i] = append([]int16(nil), w...)
+		}
+	}
+	floatFrozen := make([][]float32, tn.trainFrom)
+	for i := 0; i < tn.trainFrom; i++ {
+		if c, ok := net.Layers[i].(*nn.Conv2D); ok {
+			floatFrozen[i] = append([]float32(nil), c.Weight.W.Data()...)
+		}
+	}
+	lastW, _ := layerWeights(tn.layers[len(tn.layers)-1])
+	lastBefore := append([]int16(nil), lastW...)
+
+	in := depthImage(17).Data()
+	grad := make([]float32, nn.NavNetActions)
+	for step := 0; step < 8; step++ {
+		q := tn.Forward(in, [3]int{1, nn.NavNetInput, nn.NavNetInput})
+		for i := range grad {
+			grad[i] = q[i] - 0.25
+		}
+		tn.Backward(grad)
+		tn.Update(0.05, 1, 1)
+	}
+	for i, before := range frozenBefore {
+		if before == nil {
+			continue
+		}
+		w, _ := layerWeights(tn.layers[i])
+		for j := range before {
+			if w[j] != before[j] {
+				t.Fatalf("frozen layer %d weight %d changed", i, j)
+			}
+		}
+	}
+	changed := false
+	for j := range lastBefore {
+		if lastW[j] != lastBefore[j] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("trainable tail weights did not change")
+	}
+	if err := tn.WriteBack(net); err != nil {
+		t.Fatal(err)
+	}
+	for i, before := range floatFrozen {
+		if before == nil {
+			continue
+		}
+		c := net.Layers[i].(*nn.Conv2D)
+		for j := range before {
+			if c.Weight.W.Data()[j] != before[j] {
+				t.Fatalf("WriteBack touched frozen float layer %d", i)
+			}
+		}
+	}
+}
+
+// TestTrainBackendTDStep drives the nn.TrainableBackend implementation with
+// a synthetic TD minibatch and checks the observable contract: a finite
+// batch-mean TD error, STT-MRAM energy/latency charged for the step, and the
+// float mirror updated in place.
+func TestTrainBackendTDStep(t *testing.T) {
+	net := trainedNavNet(19)
+	b, err := NewTrainBackend(net, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch, chw = 3, nn.NavNetInput * nn.NavNetInput
+	states := tensor.New(batch, 1, nn.NavNetInput, nn.NavNetInput)
+	nexts := tensor.New(batch, 1, nn.NavNetInput, nn.NavNetInput)
+	rng := rand.New(rand.NewSource(23))
+	for i := range states.Data() {
+		states.Data()[i] = rng.Float32()
+		nexts.Data()[i] = rng.Float32()
+	}
+	// One terminal row: its next-state must contribute no bootstrap.
+	for j := 2 * chw; j < 3*chw; j++ {
+		nexts.Data()[j] = 0
+	}
+	fcBefore := append([]float32(nil), net.Layers[len(net.Layers)-1].(*nn.Dense).Weight.W.Data()...)
+	mse := b.Train(nn.TrainBatch{
+		States:  states,
+		Nexts:   nexts,
+		Actions: []int{0, 2, 1},
+		Rewards: []float64{0.1, -0.2, 1},
+		Done:    []bool{false, false, true},
+		Gamma:   0.95,
+		LR:      0.01,
+	})
+	if mse < 0 || math.IsNaN(mse) {
+		t.Fatalf("bad mse %v", mse)
+	}
+	cost := b.Cost()
+	if cost.EnergyMJ <= 0 || cost.LatencyMS <= 0 {
+		t.Fatalf("training charged no energy: %+v", cost)
+	}
+	if b.Steps() != 1 {
+		t.Fatalf("steps %d, want 1", b.Steps())
+	}
+	fcAfter := net.Layers[len(net.Layers)-1].(*nn.Dense).Weight.W.Data()
+	changed := false
+	for i := range fcBefore {
+		if fcAfter[i] != fcBefore[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("float mirror not updated by Train")
+	}
+
+	// SyncTarget charges a full-store write on top.
+	before := b.Cost().EnergyMJ
+	b.SyncTarget()
+	if b.Cost().EnergyMJ <= before {
+		t.Fatal("SyncTarget charged no energy")
+	}
+}
+
+// TestTrainBackendRegistered asserts the registry wiring end to end.
+func TestTrainBackendRegistered(t *testing.T) {
+	if !nn.HasBackend("quant-train") {
+		t.Fatal("quant-train not registered")
+	}
+	net := trainedNavNet(29)
+	bk, err := nn.NewBackendFor("quant-train", net, nn.NavNetSpec(), nn.E2E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bk.(nn.TrainableBackend); !ok {
+		t.Fatalf("quant-train backend is not trainable (%T)", bk)
+	}
+	q := bk.Infer(depthImage(31))
+	if len(q) != nn.NavNetActions {
+		t.Fatalf("Infer returned %d values, want %d", len(q), nn.NavNetActions)
+	}
+}

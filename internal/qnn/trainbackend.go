@@ -1,0 +1,179 @@
+package qnn
+
+import (
+	"fmt"
+
+	"dronerl/internal/mem"
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// TrainBackend is the nn.TrainableBackend over the fixed-point training
+// engine: the online and bootstrap-target networks both live as integer
+// words in the modeled STT-MRAM stack, and every TD step is executed in the
+// accelerator's arithmetic — quantized forward passes for the bootstrap and
+// the online Q-values, integer backprop, and a stochastically-rounded
+// weight update.
+//
+// Cost model, all at Table 1 STT-MRAM timing/energy against the backend's
+// ledger: every forward pass (online, target bootstrap, and Infer) streams
+// the full weight store as reads; every backward pass re-reads the
+// trainable layers' weights; every Update writes the trainable weight words
+// back; every target sync writes the full target store. The train-side
+// tallies are what EXPERIMENTS.md's train-energy-per-step table reports
+// against the paper's E2E column.
+type TrainBackend struct {
+	online *TrainNetwork
+	target *TrainNetwork
+	// float is the agent's float network, kept mirrored via WriteBack so
+	// snapshots/publishes/eval backends see the integer engine's weights.
+	float *nn.Network
+
+	mram   *mem.Device
+	ledger *mem.EnergyLedger
+	cost   nn.BackendCost
+	steps  int64
+	// gradClip mirrors the float path's default L-infinity clip.
+	gradClip float64
+
+	out  []float32
+	grad []float32
+}
+
+// NewTrainBackend compiles a float network into the fixed-point training
+// engine with the given options. The network's current SetConfig topology
+// decides the training boundary (frozen prefix).
+func NewTrainBackend(src *nn.Network, opts TrainOptions) (*TrainBackend, error) {
+	online, err := CompileTrainable(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainBackend{
+		online:   online,
+		target:   online.Clone(),
+		float:    src,
+		mram:     mem.STTMRAM(),
+		ledger:   mem.NewCompactLedger(),
+		gradClip: 1,
+	}, nil
+}
+
+// Name implements nn.Backend.
+func (b *TrainBackend) Name() string { return "quant-train" }
+
+func obsShape(obs *tensor.Tensor) [3]int {
+	sh := obs.Shape()
+	if len(sh) != 3 {
+		panic(fmt.Sprintf("qnn: TrainBackend expects CHW observations, got %v", sh))
+	}
+	return [3]int{sh[0], sh[1], sh[2]}
+}
+
+// charge records one aggregated access and folds it into the cost tallies.
+func (b *TrainBackend) charge(kind mem.AccessKind, bits int64) {
+	if bits <= 0 {
+		return
+	}
+	rec := b.ledger.Record(b.mram, kind, bits)
+	b.cost.EnergyMJ += rec.PJ / 1e9
+	b.cost.LatencyMS += rec.TimeNS / 1e6
+}
+
+// Infer implements nn.Backend: one quantized forward pass through the
+// online network, charged as a full weight-stream read. The returned slice
+// is reused by the next call.
+func (b *TrainBackend) Infer(obs *tensor.Tensor) []float32 {
+	q := b.online.Forward(obs.Data(), obsShape(obs))
+	b.charge(mem.Read, b.online.WeightBits())
+	b.cost.Inferences++
+	return q
+}
+
+// Train implements nn.TrainableBackend: one minibatch TD(0) update run
+// sample by sample through the integer engine (the accelerator's serial
+// per-image dataflow, Fig. 3(b)) with one stochastically-rounded weight
+// update at the end. Returns the batch-mean squared TD error.
+func (b *TrainBackend) Train(batch nn.TrainBatch) float64 {
+	n := len(batch.Actions)
+	if n == 0 {
+		return 0
+	}
+	sh := batch.States.Shape()
+	if len(sh) != 4 {
+		panic(fmt.Sprintf("qnn: TrainBatch states must be NCHW, got %v", sh))
+	}
+	shape := [3]int{sh[1], sh[2], sh[3]}
+	chw := sh[1] * sh[2] * sh[3]
+	sd, nd := batch.States.Data(), batch.Nexts.Data()
+	actions := b.online.OutDim()
+	if cap(b.grad) < actions {
+		b.grad = make([]float32, actions)
+	}
+	grad := b.grad[:actions]
+
+	full := b.online.WeightBits()
+	trainable := b.online.TrainableWeightBits()
+	var readBits int64
+	var mse float64
+	for s := 0; s < n; s++ {
+		target := batch.Rewards[s]
+		if !batch.Done[s] {
+			qn := b.target.Forward(nd[s*chw:(s+1)*chw], shape)
+			best := qn[0]
+			for _, v := range qn[1:] {
+				if v > best {
+					best = v
+				}
+			}
+			target += batch.Gamma * float64(best)
+			readBits += full
+		}
+		q := b.online.Forward(sd[s*chw:(s+1)*chw], shape)
+		readBits += full
+		td := float64(q[batch.Actions[s]]) - target
+		mse += td * td
+		for i := range grad {
+			grad[i] = 0
+		}
+		grad[batch.Actions[s]] = float32(td)
+		b.online.Backward(grad)
+		readBits += trainable
+	}
+	b.charge(mem.Read, readBits)
+	b.online.Update(batch.LR, n, b.gradClip)
+	// The weight update is the paper's expensive direction: every trainable
+	// word rewritten at Table 1 STT-MRAM write cost.
+	b.charge(mem.Write, trainable)
+	b.steps++
+	if err := b.online.WriteBack(b.float); err != nil {
+		panic("qnn: TrainBackend write-back failed: " + err.Error())
+	}
+	return mse / float64(n)
+}
+
+// SyncTarget implements nn.TrainableBackend: the online weight words are
+// copied into the target store, charged as a full-store write.
+func (b *TrainBackend) SyncTarget() {
+	b.target.CopyWeightsFrom(b.online)
+	b.charge(mem.Write, b.target.WeightBits())
+}
+
+// Cost implements nn.CostReporter.
+func (b *TrainBackend) Cost() nn.BackendCost { return b.cost }
+
+// Ledger exposes the backend's STT-MRAM traffic ledger (totals only).
+func (b *TrainBackend) Ledger() *mem.EnergyLedger { return b.ledger }
+
+// Steps returns the number of completed Train calls (weight updates).
+func (b *TrainBackend) Steps() int64 { return b.steps }
+
+// Online exposes the integer training network (tests and reports).
+func (b *TrainBackend) Online() *TrainNetwork { return b.online }
+
+func init() {
+	if err := nn.RegisterBackend("quant-train", func(net *nn.Network, _ nn.ArchSpec, _ nn.Config) (nn.Backend, error) {
+		return NewTrainBackend(net, TrainOptions{})
+	}); err != nil {
+		panic(err)
+	}
+}

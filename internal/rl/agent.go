@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math/rand"
 
 	"dronerl/internal/nn"
@@ -43,6 +44,15 @@ type Options struct {
 	// energy accounting), resolved through the nn backend registry. Empty —
 	// the default — keeps the historical direct float path.
 	EvalBackend string
+	// TrainBackend names a trainable compute backend ("quant-train", the
+	// 16-bit fixed-point engine with stochastic rounding) that takes over
+	// the whole TD update once ActivateTrainBackend is called: TrainStep
+	// hands the sampled minibatch to the backend's own integer
+	// forward/backward/update instead of the float network's, and the
+	// backend mirrors its weights back into Net so snapshots, publishes and
+	// evaluation see what was learned. Empty — the default — keeps the
+	// float training path.
+	TrainBackend string
 	// Actors is the number of concurrent actors the online-learning
 	// pipeline runs (default 1, the deterministic serial schedule that
 	// reproduces the historical loop bit for bit). With more than one
@@ -151,6 +161,13 @@ type Agent struct {
 	// evalBackend, once activated, serves Greedy instead of the direct
 	// float forward pass (see ActivateEvalBackend).
 	evalBackend nn.Backend
+	// trainBackend, once activated, owns the whole TD update: TrainStep
+	// routes the sampled minibatch here (see ActivateTrainBackend).
+	trainBackend nn.TrainableBackend
+	// Reusable per-sample scalar slices of the train-backend minibatch.
+	tbActions []int
+	tbRewards []float64
+	tbDone    []bool
 
 	// Reusable training-step buffers: the sampled minibatch, the stacked
 	// state/next-state/gradient tensors and the per-sample TD targets.
@@ -208,6 +225,7 @@ func (a *Agent) SetConfig(cfg nn.Config) {
 	a.Net.SetConfig(cfg)
 	a.cfg = cfg
 	a.evalBackend = nil
+	a.trainBackend = nil
 }
 
 func (a *Agent) syncTarget() {
@@ -275,6 +293,12 @@ func (a *Agent) AdoptPolicy(board *nn.PolicyBoard) (bool, error) {
 			return true, err
 		}
 	}
+	if changed && a.trainBackend != nil {
+		a.trainBackend = nil
+		if err := a.ActivateTrainBackend(); err != nil {
+			return true, err
+		}
+	}
 	return changed, nil
 }
 
@@ -286,6 +310,12 @@ func (a *Agent) AdoptPolicy(board *nn.PolicyBoard) (bool, error) {
 func (a *Agent) Greedy(obs *tensor.Tensor) int {
 	if a.evalBackend != nil {
 		return argmaxRow(a.evalBackend.Infer(obs))
+	}
+	// With an active train backend the authoritative weights are its
+	// integer words; acting through it keeps behaviour consistent with what
+	// is being trained (and charges the inference reads to its ledger).
+	if a.trainBackend != nil {
+		return argmaxRow(a.trainBackend.Infer(obs))
 	}
 	q := a.Net.Forward(obs.Clone())
 	return q.ArgMax()
@@ -312,6 +342,43 @@ func (a *Agent) ActivateEvalBackend() error {
 // EvalBackend returns the active evaluation backend (nil before
 // ActivateEvalBackend, or when the options select the direct float path).
 func (a *Agent) EvalBackend() nn.Backend { return a.evalBackend }
+
+// ActivateTrainBackend builds and installs the trainable backend named by
+// the options; subsequent TrainStep calls hand the sampled minibatch to it.
+// Call it before the online phase: the backend captures the weights as they
+// are now (the quantized engine compiles them into fixed-point words), so a
+// transferred policy must be restored first. It is a no-op when the options
+// name no train backend or one is already active, and an error when the
+// registered backend does not implement nn.TrainableBackend.
+func (a *Agent) ActivateTrainBackend() error {
+	if a.opts.TrainBackend == "" || a.trainBackend != nil {
+		return nil
+	}
+	b, err := nn.NewBackendFor(a.opts.TrainBackend, a.Net, a.spec, a.cfg)
+	if err != nil {
+		return err
+	}
+	tb, ok := b.(nn.TrainableBackend)
+	if !ok {
+		return fmt.Errorf("rl: backend %q is not trainable", a.opts.TrainBackend)
+	}
+	a.trainBackend = tb
+	return nil
+}
+
+// TrainBackend returns the active trainable backend (nil before
+// ActivateTrainBackend, or when the options select the float training path).
+func (a *Agent) TrainBackend() nn.TrainableBackend { return a.trainBackend }
+
+// TrainCost returns the active train backend's accumulated hardware cost —
+// the STT-MRAM read/write energy and latency of every quantized TD step —
+// or the zero value when no train backend is active or it reports no cost.
+func (a *Agent) TrainCost() nn.BackendCost {
+	if cr, ok := a.trainBackend.(nn.CostReporter); ok {
+		return cr.Cost()
+	}
+	return nn.BackendCost{}
+}
 
 // EvalCost returns the active backend's accumulated hardware cost; the
 // zero value when no backend is active or it has no cost model.
@@ -352,6 +419,13 @@ func (a *Agent) TrainStep() float64 {
 		return -1
 	}
 	a.batch = a.source().SampleInto(a.batch[:0], o.BatchSize, a.rng)
+	// A trainable backend owns the whole TD update — quantized forward,
+	// integer backprop, stochastically-rounded weight write — including the
+	// frozen-prefix handling (its compiler freezes the layers below the
+	// training boundary), so it bypasses the float tail path entirely.
+	if a.trainBackend != nil {
+		return a.trainStepBackend()
+	}
 	// Frozen-prefix fast path: under a transfer topology the layers below
 	// the training boundary never change, so the batch can enter the
 	// network at the boundary from cached (or lazily recomputed) features
@@ -563,6 +637,68 @@ func (a *Agent) finishBatchedStep(q []float32) float64 {
 		a.syncTarget()
 	}
 	return mse / float64(o.BatchSize)
+}
+
+// trainStepBackend is TrainStep's trainable-backend path: the sampled batch
+// is stacked into the agent's workspace tensors exactly like the float path
+// (Done rows of the next-state stack hold zeros and contribute no bootstrap)
+// and handed to the backend as one nn.TrainBatch. The backend runs the whole
+// TD(0) update in its own arithmetic; the agent keeps only the clock and the
+// target-sync cadence.
+func (a *Agent) trainStepBackend() float64 {
+	o := a.opts
+	b := o.BatchSize
+	sh := a.batch[0].State.Shape()
+	if len(sh) != 3 {
+		panic("rl: TrainStep expects CHW observations")
+	}
+	states := a.bArena.Get(agentSlotStates, b, sh[0], sh[1], sh[2])
+	nexts := a.bArena.Get(agentSlotNexts, b, sh[0], sh[1], sh[2])
+	n := a.batch[0].State.Len()
+	if cap(a.tbActions) < b {
+		a.tbActions = make([]int, b)
+		a.tbRewards = make([]float64, b)
+		a.tbDone = make([]bool, b)
+	}
+	actions, rewards, done := a.tbActions[:b], a.tbRewards[:b], a.tbDone[:b]
+	for i, tr := range a.batch {
+		if tr.State.Len() != n {
+			panic("rl: TrainStep batch mixes observation shapes")
+		}
+		copy(states.Data()[i*n:(i+1)*n], tr.State.Data())
+		dst := nexts.Data()[i*n : (i+1)*n]
+		switch {
+		case tr.Next != nil:
+			if tr.Next.Len() != n {
+				panic("rl: TrainStep batch mixes observation shapes")
+			}
+			copy(dst, tr.Next.Data())
+		case tr.Done:
+			for j := range dst {
+				dst[j] = 0
+			}
+		default:
+			panic("rl: TrainStep transition has nil Next but Done is false")
+		}
+		actions[i], rewards[i], done[i] = tr.Action, tr.Reward, tr.Done
+	}
+	mse := a.trainBackend.Train(nn.TrainBatch{
+		States:  states,
+		Nexts:   nexts,
+		Actions: actions,
+		Rewards: rewards,
+		Done:    done,
+		Gamma:   o.Gamma,
+		LR:      o.LR,
+	})
+	ts := a.clock.TickTrain()
+	if o.TargetSync > 0 && ts%int64(o.TargetSync) == 0 {
+		a.trainBackend.SyncTarget()
+		// Keep the float target mirror in lockstep so a later fall-back to
+		// the float path bootstraps from the same weights.
+		a.syncTarget()
+	}
+	return mse
 }
 
 // argmaxRow returns the index of the maximum value with ties resolving to

@@ -35,6 +35,7 @@ const (
 	fieldActors
 	fieldSyncEvery
 	fieldRemote
+	fieldTrainBackend
 )
 
 // isSet reports whether a field was set through a functional option.
@@ -256,6 +257,25 @@ func WithSyncEvery(steps int) Option {
 	}
 }
 
+// WithTrainBackend selects a trainable compute backend by registry name
+// ("quant-train", the 16-bit fixed-point engine with stochastic rounding)
+// for the whole TD update: once activated, TrainStep routes every sampled
+// minibatch to the backend's own integer forward/backward/update instead of
+// the float network's, so the online loop, the distributed learner and the
+// curriculum runner all train quantized without further wiring. The name is
+// checked against the nn backend registry by Validate, and the registered
+// backend must implement nn.TrainableBackend (checked at activation).
+func WithTrainBackend(name string) Option {
+	return func(o *Options) error {
+		if name == "" {
+			return fmt.Errorf("rl: train backend name is empty (registered: %v)", nn.BackendNames())
+		}
+		o.TrainBackend = name
+		o.mark(fieldTrainBackend)
+		return nil
+	}
+}
+
 // WithSeed fixes the agent's private RNG. An explicit 0 is a valid seed
 // (the struct-literal path historically replaced it with 1).
 func WithSeed(seed int64) Option {
@@ -309,6 +329,18 @@ func (o Options) Validate() error {
 	if r.EvalBackend != "" && !nn.HasBackend(r.EvalBackend) {
 		errs = append(errs, fmt.Errorf("rl: unknown evaluation backend %q (registered: %v)",
 			r.EvalBackend, nn.BackendNames()))
+	}
+	if r.TrainBackend != "" {
+		if !nn.HasBackend(r.TrainBackend) {
+			errs = append(errs, fmt.Errorf("rl: unknown train backend %q (registered: %v)",
+				r.TrainBackend, nn.BackendNames()))
+		}
+		if r.TargetSync == 0 {
+			errs = append(errs, errors.New("rl: a train backend keeps its own bootstrap target and requires TargetSync > 0"))
+		}
+		if r.DoubleDQN {
+			errs = append(errs, errors.New("rl: DoubleDQN is not supported with a train backend (the backend owns the TD update)"))
+		}
 	}
 	if r.Actors < 1 {
 		errs = append(errs, fmt.Errorf("rl: actor count %d must be >= 1", r.Actors))
@@ -372,6 +404,9 @@ func (o Options) Merge(over Options) Options {
 	}
 	if over.isSet(fieldRemote) {
 		out.Remote = over.Remote
+	}
+	if over.isSet(fieldTrainBackend) {
+		out.TrainBackend = over.TrainBackend
 	}
 	out.explicit |= over.explicit
 	return out

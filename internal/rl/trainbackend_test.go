@@ -1,0 +1,101 @@
+package rl
+
+import (
+	"testing"
+
+	"dronerl/internal/nn"
+
+	_ "dronerl/internal/qnn" // register the quant-train backend
+)
+
+// TestTrainStepRoutesToTrainBackend asserts the trainable-backend wiring:
+// once activated, TrainStep hands the sampled minibatch to the backend (the
+// quantized fixed-point engine), which updates the agent's float network in
+// place and accrues STT-MRAM training cost.
+func TestTrainStepRoutesToTrainBackend(t *testing.T) {
+	opts := Options{Seed: 71, BatchSize: 4, LR: 0.01, TargetSync: 2, EpsDecaySteps: 10}
+	opts.TrainBackend = "quant-train"
+	a := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+	if err := a.ActivateTrainBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainBackend() == nil {
+		t.Fatal("train backend not active after activation")
+	}
+	fillReplay(a, 16, 72)
+	before := append([]float32(nil), a.Net.Params()[0].W.Data()...)
+	for step := 0; step < 3; step++ {
+		if mse := a.TrainStep(); mse < 0 {
+			t.Fatalf("step %d: TrainStep declined with a full buffer (%v)", step, mse)
+		}
+	}
+	if a.TrainSteps() != 3 {
+		t.Fatalf("clock counted %d train steps, want 3", a.TrainSteps())
+	}
+	after := a.Net.Params()[0].W.Data()
+	changed := false
+	for i := range before {
+		if after[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("backend training did not update the agent's float mirror")
+	}
+	cost := a.TrainCost()
+	if cost.EnergyMJ <= 0 || cost.LatencyMS <= 0 {
+		t.Fatalf("no STT-MRAM cost accrued: %+v", cost)
+	}
+}
+
+// TestTrainBackendReproducible asserts the fixed-seed contract through the
+// full agent path: two agents with identical options and replay contents end
+// up with bit-identical float mirrors.
+func TestTrainBackendReproducible(t *testing.T) {
+	build := func() *Agent {
+		opts := Options{Seed: 81, BatchSize: 4, LR: 0.01, TargetSync: 2, EpsDecaySteps: 10}
+		opts.TrainBackend = "quant-train"
+		a := NewAgent(nn.NavNetSpec(), nn.E2E, opts)
+		if err := a.ActivateTrainBackend(); err != nil {
+			t.Fatal(err)
+		}
+		fillReplay(a, 16, 82)
+		for step := 0; step < 4; step++ {
+			a.TrainStep()
+		}
+		return a
+	}
+	x, y := build(), build()
+	xp, yp := x.Net.Params(), y.Net.Params()
+	for i := range xp {
+		if !xp[i].W.Equal(yp[i].W) {
+			t.Fatalf("weight %s diverges across identical runs", xp[i].Name)
+		}
+	}
+}
+
+// TestWithTrainBackendValidation covers the option-layer rules: unknown
+// names, the TargetSync requirement, and the DoubleDQN exclusion.
+func TestWithTrainBackendValidation(t *testing.T) {
+	if _, err := NewOptions(WithTrainBackend("no-such-backend")); err == nil {
+		t.Fatal("unknown train backend accepted")
+	}
+	if _, err := NewOptions(WithTrainBackend("quant-train"), WithTargetSync(0)); err == nil {
+		t.Fatal("train backend without a target network accepted")
+	}
+	if _, err := NewOptions(WithTrainBackend("quant-train"), WithDoubleDQN(true)); err == nil {
+		t.Fatal("train backend with DoubleDQN accepted")
+	}
+	o, err := NewOptions(WithTrainBackend("quant-train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TrainBackend != "quant-train" {
+		t.Fatalf("TrainBackend %q", o.TrainBackend)
+	}
+	merged := Options{}.Merge(o)
+	if merged.TrainBackend != "quant-train" {
+		t.Fatalf("Merge dropped TrainBackend: %q", merged.TrainBackend)
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// ConvGEMMFused accumulates the batched GEMM convolution
+//
+//	dst (outC × B*oh*ow) += W (outC × c*kh*kw) × im2colT(in)
+//
+// without materializing the im2colT panel: the kernel walks the virtual
+// panel rows straight out of the NCHW input. Results are bit-identical to
+// Im2ColTInto into a scratch panel followed by MatMulAccumVec(dst, W, panel):
+//
+//   - Per output element, products arrive in ascending patch index q through
+//     a single accumulator, exactly the reference schedule, and every
+//     multiply-add is the same two-rounding saxpyRow step.
+//   - Rows with a zero weight coefficient are skipped — the reference
+//     kernels' zero-skip contract.
+//   - Padding positions are skipped rather than multiplied: the reference
+//     adds av·0 there, and x + (±0) == x bit-for-bit for every x this sum
+//     can hold — dst rows start at +0 and IEEE-754 round-to-nearest
+//     addition never produces -0 from a +0 starting point — so dropping the
+//     zero terms is exact. (Asserted against the materialized path by
+//     TestConvGEMMFusedBitIdentical.)
+//
+// dst must be pre-zeroed (or hold a running sum to extend), matching the
+// MatMulAccumVec contract. The fringe arithmetic (lo, hi, iy) mirrors
+// Im2ColTInto element for element.
+func ConvGEMMFused(dst, w, in *Tensor, kh, kw, stride, pad int) {
+	if dst.Rank() != 2 || w.Rank() != 2 || in.Rank() != 4 {
+		panic("tensor: ConvGEMMFused requires rank-2 dst/w and an NCHW rank-4 input")
+	}
+	b, c, h, iw := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := ConvOutDim(h, kh, stride, pad)
+	ow := ConvOutDim(iw, kw, stride, pad)
+	np := oh * ow
+	colw := c * kh * kw
+	outC := dst.Dim(0)
+	if w.Dim(0) != outC || w.Dim(1) != colw || dst.Dim(1) != b*np {
+		panic(fmt.Sprintf("tensor: ConvGEMMFused shape mismatch %v += %v x im2colT%v", dst.shape, w.shape, in.shape))
+	}
+	dd, wd, id := dst.data, w.data, in.data
+	body := func(olo, ohi int) {
+		for i := olo; i < ohi; i++ {
+			drow := dd[i*b*np : (i+1)*b*np]
+			wrow := wd[i*colw : (i+1)*colw]
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						av := wrow[(ch*kh+ky)*kw+kx]
+						if av == 0 {
+							continue
+						}
+						// ix = ox*stride - pad + kx is in [0, iw) exactly for
+						// ox in [lo, hi) — Im2ColTInto's fringe arithmetic.
+						lo := 0
+						if d := pad - kx; d > 0 {
+							lo = (d + stride - 1) / stride
+						}
+						lo = min(lo, ow)
+						hi := iw - 1 + pad - kx
+						if hi < 0 {
+							hi = 0
+						} else {
+							hi = hi/stride + 1
+						}
+						hi = max(min(hi, ow), lo)
+						if lo == hi {
+							continue
+						}
+						for s := 0; s < b; s++ {
+							src := id[(s*c+ch)*h*iw : (s*c+ch+1)*h*iw]
+							for oy := 0; oy < oh; oy++ {
+								iy := oy*stride - pad + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								srow := src[iy*iw : (iy+1)*iw]
+								d := drow[s*np+oy*ow : s*np+(oy+1)*ow]
+								if stride == 1 {
+									saxpyRow(d[lo:hi], srow[lo-pad+kx:], av)
+								} else {
+									ix := lo*stride - pad + kx
+									for j := lo; j < hi; j++ {
+										d[j] += av * srow[ix]
+										ix += stride
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if serialRows(outC, outC*colw*b*np) {
+		body(0, outC)
+		return
+	}
+	parallelRows(outC, body)
+}

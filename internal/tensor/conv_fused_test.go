@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConvGEMMFusedBitIdentical asserts the fused kernel's exactness claim:
+// for every configuration — strides, paddings, fringe-heavy kernels, zero
+// weights, and sizes on both sides of the parallel threshold — the output
+// must equal Im2ColTInto + MatMulAccumVec bit for bit.
+func TestConvGEMMFusedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	cases := []struct {
+		name                           string
+		b, c, h, w, outC, kh, kw, s, p int
+	}{
+		{"stride1-pad1", 2, 3, 8, 8, 4, 3, 3, 1, 1},
+		{"stride1-pad0", 3, 2, 7, 9, 5, 3, 3, 1, 0},
+		{"stride2-pad1", 2, 3, 9, 9, 4, 3, 3, 2, 1},
+		{"stride2-pad2-k5", 2, 2, 11, 11, 3, 5, 5, 2, 2},
+		{"stride3-pad2", 1, 4, 10, 10, 6, 3, 3, 3, 2},
+		{"k1", 2, 3, 6, 6, 4, 1, 1, 1, 0},
+		{"pad-exceeds-kernel-reach", 1, 1, 4, 4, 2, 3, 3, 1, 2},
+		{"large-parallel", 4, 8, 16, 16, 32, 3, 3, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New(tc.b, tc.c, tc.h, tc.w)
+			for i := range in.data {
+				in.data[i] = rng.Float32()*2 - 1
+			}
+			colw := tc.c * tc.kh * tc.kw
+			w := New(tc.outC, colw)
+			for i := range w.data {
+				w.data[i] = rng.Float32()*2 - 1
+			}
+			// Exercise the zero-skip path explicitly.
+			for i := 0; i < len(w.data); i += 5 {
+				w.data[i] = 0
+			}
+			oh := ConvOutDim(tc.h, tc.kh, tc.s, tc.p)
+			ow := ConvOutDim(tc.w, tc.kw, tc.s, tc.p)
+			np := oh * ow
+
+			want := New(tc.outC, tc.b*np)
+			colsT := New(colw, tc.b*np)
+			Im2ColTInto(colsT, in, tc.kh, tc.kw, tc.s, tc.p)
+			MatMulAccumVec(want, w, colsT)
+
+			got := New(tc.outC, tc.b*np)
+			ConvGEMMFused(got, w, in, tc.kh, tc.kw, tc.s, tc.p)
+
+			for i := range want.data {
+				if got.data[i] != want.data[i] {
+					t.Fatalf("element %d: fused %v != reference %v", i, got.data[i], want.data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConvGEMMFusedAccumulates checks the += contract: a non-zero dst is
+// extended, not overwritten.
+func TestConvGEMMFusedAccumulates(t *testing.T) {
+	in := New(1, 1, 4, 4)
+	for i := range in.data {
+		in.data[i] = float32(i)
+	}
+	w := New(2, 9)
+	for i := range w.data {
+		w.data[i] = 1
+	}
+	dst := New(2, 16)
+	base := New(2, 16)
+	ConvGEMMFused(base, w, in, 3, 3, 1, 1)
+	for i := range dst.data {
+		dst.data[i] = 100
+	}
+	ConvGEMMFused(dst, w, in, 3, 3, 1, 1)
+	for i := range dst.data {
+		if dst.data[i] != base.data[i]+100 {
+			t.Fatalf("element %d: %v, want %v", i, dst.data[i], base.data[i]+100)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package tensor
+
+// Int16 GEMM kernels for the quantized training path.
+//
+// Accumulation contract — deliberately different from the inference kernels
+// in internal/fixed: products are widened to int32 and summed with
+// two's-complement wrap-around, and saturation (if the caller wants any)
+// happens exactly once when the caller narrows the finished accumulator.
+// Wrap-around addition mod 2^32 is associative and commutative, so the AVX2
+// kernel's lane order (VPMADDWD pairs, then a tree reduction) is
+// bit-identical to the scalar left-to-right loop — the property the
+// unconditional asm-vs-scalar identity tests assert. Per-step saturating
+// accumulation (fixed.MAC) has no such reordering freedom, which is why the
+// inference path cannot be vectorized this way and the training layers use
+// these kernels instead.
+//
+// The range discipline callers must uphold: with Q7.8 activations and Q2.13
+// weights every product is < 2^30, so a row needs ~2^2 terms to overflow in
+// the worst case but > 2^17 terms under the trained-weight magnitudes the
+// qnn package bounds; the training layers keep rows well under that and the
+// tolerance-banded convergence tests cover the claim end to end.
+
+// Dot16 returns the dot product of a and b widened to int32 with
+// wrap-around accumulation. b must be at least as long as a; extra elements
+// of b are ignored.
+func Dot16(a, b []int16) int32 {
+	if len(a) == 0 {
+		return 0
+	}
+	return dot16(a, b[:len(a)])
+}
+
+// dot16Scalar is the portable reference kernel: the asm paths must match it
+// bit for bit on every input.
+func dot16Scalar(a, b []int16) int32 {
+	var acc int32
+	for i, av := range a {
+		acc += int32(av) * int32(b[i])
+	}
+	return acc
+}
+
+// MatVec16 computes dst[r] = Dot16(w[r], x) for every row r of the
+// row-major (len(dst) × len(x)) matrix w.
+func MatVec16(dst []int32, w, x []int16) {
+	n := len(x)
+	for r := range dst {
+		dst[r] = Dot16(w[r*n:(r+1)*n], x)
+	}
+}
+
+// MatMul16T computes the row-major (m × n) product dst = a × bᵀ where a is
+// row-major (m × k) and bT is the row-major (n × k) *transpose* of b, so
+// every output element is a dot product of two contiguous rows. Rows of dst
+// are independent and the kernel parallelizes over them above the same
+// flops threshold as the float GEMMs; per-element results are identical
+// either way.
+func MatMul16T(dst []int32, a, bT []int16, m, k, n int) {
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				drow[j] = Dot16(arow, bT[j*k:(j+1)*k])
+			}
+		}
+	}
+	if serialRows(m, m*n*k) {
+		body(0, m)
+		return
+	}
+	parallelRows(m, body)
+}

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// AVX2 int16 dot kernel: VPMADDWD multiplies 16 int16 lanes pairwise into 8
+// int32 partial sums per step, VPADDD accumulates, and a tree reduction
+// folds the lanes. Every addition is mod 2^32, so the reordering relative to
+// the scalar loop cannot change the result (see int16.go) — including
+// VPMADDWD's single edge case, (-32768)·(-32768)+(-32768)·(-32768), which
+// the instruction defines to produce 0x80000000: exactly the wrapped sum.
+
+//go:noescape
+func dot16AVX2(a, b *int16, n int) int32
+
+// cpuHasAVX2Asm reports CPUID.7.0:EBX bit 5 (AVX2). OS support for the YMM
+// state is already established by hasAVX (XGETBV), so the combined gate is
+// hasAVX && cpuHasAVX2Asm().
+func cpuHasAVX2Asm() bool
+
+var hasAVX2 = hasAVX && cpuHasAVX2Asm()
+
+func dot16(a, b []int16) int32 {
+	if hasAVX2 {
+		return dot16AVX2(&a[0], &b[0], len(a))
+	}
+	return dot16Scalar(a, b)
+}

@@ -1,0 +1,66 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot16AVX2(a, b *int16, n int) int32
+// Wrap-around int32 dot product of two int16 vectors. 16 elements per
+// VPMADDWD+VPADDD step; all additions are mod 2^32 so any accumulation
+// order gives the scalar loop's exact result.
+TEXT ·dot16AVX2(SB), NOSPLIT, $0-28
+	MOVQ  a+0(FP), SI
+	MOVQ  b+8(FP), DI
+	MOVQ  n+16(FP), CX
+	VPXOR Y0, Y0, Y0
+	MOVQ  CX, BX
+	SHRQ  $4, BX             // 16-element blocks
+	JZ    reduce
+
+loop16:
+	VMOVDQU  (SI), Y1
+	VPMADDWD (DI), Y1, Y1
+	VPADDD   Y1, Y0, Y0
+	ADDQ     $32, SI
+	ADDQ     $32, DI
+	DECQ     BX
+	JNZ      loop16
+
+reduce:
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1 // swap 64-bit halves
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1 // swap 32-bit pairs
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	ANDQ         $15, CX
+	JZ           done
+
+scalar:
+	MOVWLSX (SI), DX
+	MOVWLSX (DI), R8
+	IMULL   R8, DX
+	ADDL    DX, AX
+	ADDQ    $2, SI
+	ADDQ    $2, DI
+	DECQ    CX
+	JNZ     scalar
+
+done:
+	VZEROUPPER
+	MOVL AX, ret+24(FP)
+	RET
+
+// func cpuHasAVX2Asm() bool
+// CPUID.7.0:EBX bit 5. OS state support is checked separately via hasAVX.
+TEXT ·cpuHasAVX2Asm(SB), NOSPLIT, $0-1
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   noavx2
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx2:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package tensor
+
+func dot16(a, b []int16) int32 { return dot16Scalar(a, b) }

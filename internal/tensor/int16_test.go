@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randInt16s(rng *rand.Rand, n int) []int16 {
+	v := make([]int16, n)
+	for i := range v {
+		v[i] = int16(rng.Intn(1<<16) - 1<<15)
+	}
+	return v
+}
+
+// TestDot16MatchesScalar is the unconditional bit-identity gate for the
+// dispatched kernel: wrap-around accumulation is associative mod 2^32, so
+// the AVX2 lane order must reproduce the scalar loop exactly on every
+// input, including lengths that exercise the 16-wide blocks, the scalar
+// tail, and both together.
+func TestDot16MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 2, 7, 15, 16, 17, 31, 32, 33, 48, 100, 255, 256, 1000} {
+		a := randInt16s(rng, n)
+		b := randInt16s(rng, n)
+		want := dot16Scalar(a, b)
+		if got := Dot16(a, b); got != want {
+			t.Errorf("n=%d: Dot16 = %d, scalar = %d", n, got, want)
+		}
+	}
+}
+
+// TestDot16Wraparound pins the overflow semantics: saturating per-step
+// accumulation would clamp these, wrap-around must not.
+func TestDot16Wraparound(t *testing.T) {
+	// Three max-magnitude products of 2^30 each: exact sum 3*2^30 wraps to
+	// 3*2^30 - 2^32 = -2^30.
+	a := []int16{math.MinInt16, math.MinInt16, math.MinInt16}
+	b := []int16{math.MinInt16, math.MinInt16, math.MinInt16}
+	want := int32(-(1 << 30))
+	if got := Dot16(a, b); got != want {
+		t.Fatalf("Dot16 wraparound = %d, want %d", got, want)
+	}
+	if got := dot16Scalar(a, b); got != want {
+		t.Fatalf("scalar wraparound = %d, want %d", got, want)
+	}
+	// VPMADDWD's defined edge case: both elements of one pair at -32768.
+	// Pairwise sum 2^31 wraps to -2^31; a third product must keep adding
+	// mod 2^32 on top of it.
+	a = []int16{math.MinInt16, math.MinInt16, 3, 0}
+	b = []int16{math.MinInt16, math.MinInt16, 5, 0}
+	// Pad to 16 so the AVX2 block path (and with it VPMADDWD) runs.
+	a = append(a, make([]int16, 12)...)
+	b = append(b, make([]int16, 12)...)
+	want = int32(math.MinInt32 + 15)
+	if got := Dot16(a, b); got != want {
+		t.Fatalf("Dot16 VPMADDWD edge = %d, want %d", got, want)
+	}
+	if got := dot16Scalar(a, b); got != want {
+		t.Fatalf("scalar VPMADDWD edge = %d, want %d", got, want)
+	}
+}
+
+func TestMatVec16(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, n = 9, 37
+	w := randInt16s(rng, rows*n)
+	x := randInt16s(rng, n)
+	dst := make([]int32, rows)
+	MatVec16(dst, w, x)
+	for r := 0; r < rows; r++ {
+		if want := dot16Scalar(w[r*n:(r+1)*n], x); dst[r] != want {
+			t.Errorf("row %d: %d, want %d", r, dst[r], want)
+		}
+	}
+}
+
+// TestMatMul16TMatchesScalar checks the parallel row schedule against a
+// direct triple loop, at a size above the parallel threshold.
+func TestMatMul16TMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const m, k, n = 64, 80, 70 // m*n*k > parallelFlops
+	a := randInt16s(rng, m*k)
+	bT := randInt16s(rng, n*k)
+	dst := make([]int32, m*n)
+	MatMul16T(dst, a, bT, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(a[i*k+p]) * int32(bT[j*k+p])
+			}
+			if dst[i*n+j] != acc {
+				t.Fatalf("dst[%d,%d] = %d, want %d", i, j, dst[i*n+j], acc)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/rl"
+
+	_ "dronerl/internal/qnn" // register the quant-train backend
+)
+
+// TestQuantTrainConvergesNearFloat is the acceptance gate of the quantized
+// training path: on the indoor-easy scenario with a fixed seed, online
+// learning through the fixed-point engine (stochastic rounding, int16
+// words) must end within 10% of the float path's final smoothed reward.
+// Both runs share the meta-model, world seed and schedule; only the
+// training arithmetic differs.
+func TestQuantTrainConvergesNearFloat(t *testing.T) {
+	scen, ok := env.LookupScenario("indoor-easy")
+	if !ok {
+		t.Fatal("indoor-easy scenario not registered")
+	}
+	spec := nn.NavNetSpec()
+	meta := env.IndoorMeta(91)
+	snap, _ := MetaTrain(meta, spec, 150, fastOpts(91))
+
+	run := func(backend string) float64 {
+		opts := rl.Options{Seed: 92, BatchSize: 4, EpsDecaySteps: 150, ReplayCapacity: 512}
+		opts.TrainBackend = backend
+		res, err := RunOnline(snap, scen.Build(93), spec, nn.L2, 400, 50, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backend != "" && res.TrainBackend != backend {
+			t.Fatalf("online run trained on %q, want %q", res.TrainBackend, backend)
+		}
+		if backend != "" && res.TrainCost.EnergyMJ <= 0 {
+			t.Fatalf("quantized run charged no training energy: %+v", res.TrainCost)
+		}
+		return res.Training.CumulativeReward()
+	}
+
+	floatR := run("")
+	quantR := run("quant-train")
+	if floatR <= 0 {
+		t.Fatalf("float baseline did not learn (final reward %v)", floatR)
+	}
+	if d := math.Abs(quantR - floatR); d > 0.10*floatR {
+		t.Fatalf("quantized final reward %v deviates from float %v by %v (> 10%%)",
+			quantR, floatR, d)
+	}
+}

@@ -54,6 +54,12 @@ func Deploy(snapshot *nn.Snapshot, spec nn.ArchSpec, cfg nn.Config, opts rl.Opti
 			return nil, fmt.Errorf("transfer: deploying meta-model into target: %w", err)
 		}
 	}
+	// A trainable backend captures the weights at activation, so it must be
+	// built after the transferred meta-model is in place: the quantized
+	// engine compiles the restored weights, not the fresh initialization.
+	if err := agent.ActivateTrainBackend(); err != nil {
+		return nil, fmt.Errorf("transfer: activating train backend: %w", err)
+	}
 	return agent, nil
 }
 
@@ -67,6 +73,12 @@ type Result struct {
 	// the direct float path) and EvalCost its accumulated hardware cost.
 	Backend  string
 	EvalCost nn.BackendCost
+	// TrainBackend names the trainable backend the online phase ran on (""
+	// for the float training path) and TrainCost its accumulated hardware
+	// cost — the STT-MRAM read/write energy and latency of every quantized
+	// TD step, the source of EXPERIMENTS.md's train-energy-per-step table.
+	TrainBackend string
+	TrainCost    nn.BackendCost
 	// Actors is the number of concurrent actors the online phase ran
 	// (1 = the deterministic serial schedule).
 	Actors int
@@ -182,6 +194,12 @@ func RunOnlineContext(ctx context.Context, snapshot *nn.Snapshot, test *env.Worl
 // finishEval runs the greedy evaluation flight at the training/evaluation
 // hand-off, activating the configured backend first.
 func finishEval(agent *rl.Agent, test *env.World, evalSteps int, res *Result) error {
+	// Capture the training backend's tallies before evaluation: the online
+	// phase is over, so the cost recorded now is exactly the training cost.
+	if tb := agent.TrainBackend(); tb != nil {
+		res.TrainBackend = tb.Name()
+		res.TrainCost = agent.TrainCost()
+	}
 	if err := agent.ActivateEvalBackend(); err != nil {
 		return err
 	}
@@ -312,11 +330,15 @@ func RunOnlineSerial(snapshot *nn.Snapshot, test *env.World, spec nn.ArchSpec, c
 	}
 	trainer := rl.NewTrainer(test, agent, onlineIters)
 	training := trainer.Run(onlineIters)
+	res := Result{Env: test.Name, Config: cfg, Training: training, Actors: 1}
+	if tb := agent.TrainBackend(); tb != nil {
+		res.TrainBackend = tb.Name()
+		res.TrainCost = agent.TrainCost()
+	}
 	if err := agent.ActivateEvalBackend(); err != nil {
 		return Result{}, err
 	}
-	eval := trainer.Evaluate(evalSteps)
-	res := Result{Env: test.Name, Config: cfg, Training: training, Eval: eval, Actors: 1}
+	res.Eval = trainer.Evaluate(evalSteps)
 	if b := agent.EvalBackend(); b != nil {
 		res.Backend = b.Name()
 		res.EvalCost = agent.EvalCost()
