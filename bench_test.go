@@ -491,6 +491,66 @@ func BenchmarkQuantTrainStep(b *testing.B) {
 	}
 }
 
+// quantInferBatch is the stack size of the batched quant-inference
+// benchmark, matching the serving daemon's MaxBatch.
+const quantInferBatch = 32
+
+// BenchmarkQuantInferBatch measures the fixed-point engine's batched
+// inference kernel: one int16 GEMM per layer (AVX2 Dot16 inner loop) for a
+// 32-observation stack, with the activation panels reused from the layer
+// arena — 0 allocs/op at steady state — and one MRAM weight stream charged
+// per batch. Per-row outputs are bit-identical to 32 Infer calls (pinned in
+// internal/qnn); compare against BenchmarkQuantInferSerial for the kernel
+// gain the serving batcher banks.
+func BenchmarkQuantInferBatch(b *testing.B) {
+	backend, stack := quantInferWorkload(b)
+	bi := backend.(nn.BatchInferrer)
+	bi.InferBatch(stack) // warm the panels so allocs/op reflects steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bi.InferBatch(stack)
+	}
+	b.ReportMetric(float64(quantInferBatch*b.N)/b.Elapsed().Seconds(), "inf/s")
+}
+
+// BenchmarkQuantInferSerial is the per-sample reference: the same 32
+// observations through 32 single-row quant forwards.
+func BenchmarkQuantInferSerial(b *testing.B) {
+	backend, stack := quantInferWorkload(b)
+	row := nn.NavNetInput * nn.NavNetInput
+	obs := make([]*tensor.Tensor, quantInferBatch)
+	for s := range obs {
+		obs[s] = tensor.FromSlice(append([]float32(nil), stack.Data()[s*row:(s+1)*row]...),
+			1, nn.NavNetInput, nn.NavNetInput)
+	}
+	backend.Infer(obs[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range obs {
+			backend.Infer(o)
+		}
+	}
+	b.ReportMetric(float64(quantInferBatch*b.N)/b.Elapsed().Seconds(), "inf/s")
+}
+
+// quantInferWorkload builds a quant backend over an initialized NavNet and a
+// 32-observation stack of random depth frames.
+func quantInferWorkload(b *testing.B) (nn.Backend, *tensor.Tensor) {
+	b.Helper()
+	spec := nn.NavNetSpec()
+	netw := spec.Build()
+	netw.Init(rand.New(rand.NewSource(63)))
+	backend, err := nn.NewBackendFor("quant", netw, spec, nn.E2E)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack := tensor.New(quantInferBatch, 1, nn.NavNetInput, nn.NavNetInput)
+	stack.RandUniform(rand.New(rand.NewSource(64)), 1)
+	return backend, stack
+}
+
 // convBatch is the batch size of the batched conv-layer benchmarks.
 const convBatch = 8
 
@@ -851,9 +911,11 @@ func BenchmarkServeQPSFloatBatched(b *testing.B) { benchmarkServeQPS(b, "float",
 // BenchmarkServeQPSQuantSingleFlight is the fixed-point engine single-flight.
 func BenchmarkServeQPSQuantSingleFlight(b *testing.B) { benchmarkServeQPS(b, "quant", 1) }
 
-// BenchmarkServeQPSQuantBatched coalesces on the fixed-point engine (per-item
-// execution inside the batch: the quant backend has no batched kernel, so the
-// gain is scheduling only).
+// BenchmarkServeQPSQuantBatched coalesces on the fixed-point engine: the
+// whole batch runs through qnn's batched kernel, one int16 GEMM per layer
+// (Dot16 inner loop) instead of per-item execution, with one MRAM weight
+// stream charged per batch. Acceptance target: >= 2x over
+// ServeQPSQuantSingleFlight at 8 clients, gated in the bench trajectory.
 func BenchmarkServeQPSQuantBatched(b *testing.B) { benchmarkServeQPS(b, "quant", 32) }
 
 // BenchmarkServeQPSSystolicSingleFlight is the modeled accelerator single-flight.

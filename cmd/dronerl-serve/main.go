@@ -7,7 +7,7 @@
 //
 //	dronerl-serve [-addr 127.0.0.1:8080] [-backend float|quant|systolic]
 //	              [-workers 2] [-maxbatch 32] [-window 2ms] [-queue 256]
-//	              [-model snapshot.gob] [-seed 1]
+//	              [-model snapshot.gob] [-seed 1] [-pprof addr]
 //
 // With -model the daemon serves that snapshot (as written by droneflight
 // -save or GET /v1/policy of another instance); without it a fresh NavNet is
@@ -16,6 +16,11 @@
 // Endpoints: POST /v1/act, POST+GET /v1/policy, GET /healthz, GET /statsz.
 // SIGINT/SIGTERM drain in-flight requests, print a final stats summary and
 // exit 0.
+//
+// -pprof mounts net/http/pprof on its own debug listener (e.g. -pprof
+// 127.0.0.1:6060), kept off the serving port so profiling traffic never
+// competes with inference admission and the profiler is never exposed on
+// the serving address by accident. Off by default.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +55,7 @@ func main() {
 	queue := flag.Int("queue", 256, "admission queue depth; beyond it requests get 429")
 	model := flag.String("model", "", "serve this snapshot file (default: random-init from -seed)")
 	seed := flag.Int64("seed", 1, "weight init seed when no -model is given")
+	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this separate debug listener (off when empty)")
 	flag.Parse()
 
 	snap, err := loadPolicy(*model, *seed)
@@ -77,6 +85,29 @@ func main() {
 	}
 	fmt.Printf("dronerl-serve: listening on http://%s (backend=%s workers=%d maxbatch=%d window=%v queue=%d)\n",
 		ln.Addr(), *backend, *workers, *maxBatch, *window, *queue)
+
+	if *pprofAddr != "" {
+		dln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dronerl-serve: pprof listener:", err)
+			os.Exit(2)
+		}
+		// A dedicated mux: the debug listener serves only the profiler, the
+		// serving mux never learns the /debug/pprof/ routes.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("dronerl-serve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				fmt.Fprintln(os.Stderr, "dronerl-serve: pprof:", err)
+			}
+		}()
+		defer dln.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

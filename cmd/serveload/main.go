@@ -197,6 +197,14 @@ func main() {
 		ok, *n, retries.Load(), failed.Load(), elapsed.Round(time.Millisecond),
 		float64(ok)/elapsed.Seconds())
 
+	// Attribute the burst to a kernel: the gate log should show whether the
+	// coalesced batches actually hit the backend's batched entry or fell
+	// back to per-sample execution.
+	if err := printBatchSource(base); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		failed.Add(1)
+	}
+
 	if *reload {
 		v := reloadedV.Load()
 		if v < 2 {
@@ -217,6 +225,31 @@ func main() {
 	if failed.Load() > 0 || ok != int64(*n) {
 		os.Exit(1)
 	}
+}
+
+// printBatchSource reads /statsz and reports which kernel served the burst's
+// batches — e.g. "quant/InferBatch" with the counts of batches that ran the
+// batched kernel versus the per-sample fallback, and the size histogram.
+func printBatchSource(base string) error {
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		return fmt.Errorf("statsz after burst: %w", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Backend        string        `json:"backend"`
+		BatchSource    string        `json:"batch_source"`
+		BatchedBatches int64         `json:"batched_batches"`
+		SerialBatches  int64         `json:"serial_batches"`
+		MeanBatch      float64       `json:"mean_batch"`
+		BatchHist      map[int]int64 `json:"batch_hist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("statsz after burst: status %d err %v", resp.StatusCode, err)
+	}
+	fmt.Printf("serveload: batches served by %s: %d batched-kernel, %d per-sample (mean batch %.2f, hist %v)\n",
+		st.BatchSource, st.BatchedBatches, st.SerialBatches, st.MeanBatch, st.BatchHist)
+	return nil
 }
 
 // assertHealthy checks the daemon still answers /healthz — the post-chaos

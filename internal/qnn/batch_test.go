@@ -1,0 +1,173 @@
+package qnn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dronerl/internal/env"
+	"dronerl/internal/nn"
+	"dronerl/internal/tensor"
+)
+
+// Compile-time pin: the quant backend answers the serving batcher's
+// coalesced path.
+var _ nn.BatchInferrer = (*Backend)(nil)
+
+// scenarioObs flies count random actions in the named catalog world and
+// returns the depth observations along the way — realistic inputs for the
+// bit-identity sweep, not just uniform noise.
+func scenarioObs(t *testing.T, name string, count int, seed int64) []*tensor.Tensor {
+	t.Helper()
+	sc, ok := env.LookupScenario(name)
+	if !ok {
+		t.Fatalf("scenario %q vanished from the catalog", name)
+	}
+	w := sc.Build(seed)
+	w.Spawn()
+	rng := rand.New(rand.NewSource(seed + 1))
+	obs := make([]*tensor.Tensor, 0, count)
+	obs = append(obs, env.DepthImage(w.Depths(), w.Camera.MaxRange))
+	for len(obs) < count {
+		res := w.Step(env.Action(rng.Intn(env.NumActions)))
+		obs = append(obs, env.DepthImage(res.Depths, w.Camera.MaxRange))
+	}
+	return obs
+}
+
+// TestQuantInferBatchBitIdentical asserts the batched integer path returns,
+// word for word, exactly what the per-sample path returns — on every builtin
+// scenario's observations, across batch sizes {1, 8, 32}. This pins the
+// wrap-around-GEMM vs saturating-MAC accumulation argument (batch.go) on
+// real depth images, and the backend-level float rows with it.
+func TestQuantInferBatchBitIdentical(t *testing.T) {
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(31)))
+	b, err := NewBackend(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet := b.net
+	actions := spec.FCs[len(spec.FCs)-1].Out
+	row := env.ImageSize * env.ImageSize
+
+	for si, name := range env.ScenarioNames() {
+		obs := scenarioObs(t, name, 32, int64(100+si))
+		for _, bsz := range []int{1, 8, 32} {
+			stack := tensor.New(bsz, 1, env.ImageSize, env.ImageSize)
+			for s := 0; s < bsz; s++ {
+				copy(stack.Data()[s*row:(s+1)*row], obs[s].Data())
+			}
+			// Snapshot the per-sample answers first: the batched pass reuses
+			// workspaces, the serial pass allocates fresh tensors.
+			wantWords := make([][]int16, bsz)
+			wantQ := make([][]float32, bsz)
+			for s := 0; s < bsz; s++ {
+				words, _ := qnet.Forward(obs[s])
+				wantWords[s] = make([]int16, len(words))
+				for i, w := range words {
+					wantWords[s][i] = int16(w)
+				}
+				wantQ[s] = append([]float32(nil), b.Infer(obs[s])...)
+			}
+			gotWords, _ := qnet.ForwardBatch(stack)
+			if len(gotWords) != bsz*actions {
+				t.Fatalf("%s batch %d: ForwardBatch returned %d words, want %d",
+					name, bsz, len(gotWords), bsz*actions)
+			}
+			for s := 0; s < bsz; s++ {
+				for i := 0; i < actions; i++ {
+					if got := int16(gotWords[s*actions+i]); got != wantWords[s][i] {
+						t.Fatalf("%s batch %d sample %d: word[%d] = %d, want %d (must be bit-identical)",
+							name, bsz, s, i, got, wantWords[s][i])
+					}
+				}
+			}
+			gotQ := b.InferBatch(stack)
+			for s := 0; s < bsz; s++ {
+				for i := 0; i < actions; i++ {
+					if gotQ[s*actions+i] != wantQ[s][i] {
+						t.Fatalf("%s batch %d sample %d: Q[%d] = %v, want %v (must be bit-identical)",
+							name, bsz, s, i, gotQ[s*actions+i], wantQ[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantInferBatchLedgerAmortized asserts the batched path's energy
+// accounting: one InferBatch call charges exactly one weight stream — every
+// layer's weights read from the stack once — no matter how many requests the
+// batch carries, while the per-sample path charges one stream per request.
+func TestQuantInferBatchLedgerAmortized(t *testing.T) {
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(41)))
+	b, err := NewBackend(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := b.net.WeightBits()
+	if stream <= 0 {
+		t.Fatal("compiled network reports no weight traffic")
+	}
+
+	const bsz = 8
+	stack := tensor.New(bsz, 1, env.ImageSize, env.ImageSize)
+	stack.RandUniform(rand.New(rand.NewSource(42)), 1)
+
+	b.InferBatch(stack)
+	mram := b.Ledger().Total("STT-MRAM")
+	if mram.ReadBits != stream {
+		t.Errorf("batch of %d read %d bits, want %d (one stream per layer, not one per request)",
+			bsz, mram.ReadBits, stream)
+	}
+	if got := b.Cost().Inferences; got != bsz {
+		t.Errorf("batch of %d counted %d inferences", bsz, got)
+	}
+	batchMJ := b.Cost().EnergyMJ
+
+	// The per-sample path pays bsz streams for the same work.
+	for s := 0; s < bsz; s++ {
+		obs := tensor.FromSlice(append([]float32(nil), stack.Data()[s*stack.Len()/bsz:(s+1)*stack.Len()/bsz]...),
+			1, env.ImageSize, env.ImageSize)
+		b.Infer(obs)
+	}
+	mram = b.Ledger().Total("STT-MRAM")
+	if want := (1 + bsz) * stream; mram.ReadBits != want {
+		t.Errorf("after %d serial Infers ledger reads %d bits, want %d", bsz, mram.ReadBits, want)
+	}
+	serialMJ := b.Cost().EnergyMJ - batchMJ
+	if batchMJ >= serialMJ {
+		t.Errorf("batched energy %v mJ not below serial %v mJ: weight stream is not amortized", batchMJ, serialMJ)
+	}
+	if mram.WriteBits != 0 {
+		t.Errorf("inference wrote %d bits to the stack", mram.WriteBits)
+	}
+}
+
+// TestQuantForwardBatchZeroAlloc asserts the steady-state allocation
+// contract of the batched integer pass: after warm-up, ForwardBatch touches
+// only the workspace. Pinned on the single-threaded schedule — above the
+// flops threshold the GEMM's row fan-out allocates goroutine closures, the
+// same caveat the float arena documents.
+func TestQuantForwardBatchZeroAlloc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	spec := nn.NavNetSpec()
+	net := spec.Build()
+	net.Init(rand.New(rand.NewSource(51)))
+	qnet, err := Compile(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := tensor.New(8, 1, env.ImageSize, env.ImageSize)
+	stack.RandUniform(rand.New(rand.NewSource(52)), 1)
+	qnet.ForwardBatch(stack) // warm-up sizes every slot
+	if allocs := testing.AllocsPerRun(10, func() {
+		qnet.ForwardBatch(stack)
+	}); allocs != 0 {
+		t.Errorf("steady-state ForwardBatch allocates %v times per call, want 0", allocs)
+	}
+}

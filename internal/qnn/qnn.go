@@ -47,6 +47,13 @@ type Conv2D struct {
 	W                   fixed.Vec // (outC, inC*k*k) row-major
 	B                   fixed.Vec
 	WFmt, InFmt, OutFmt fixed.Format
+
+	// Batched-path caches (batch.go): the weight image re-typed for the
+	// int16 GEMM kernel, the bias rescaled into OutFmt, and the reusable
+	// output-shape header.
+	wGemm  []int16
+	bOut   fixed.Vec
+	bShape []int
 }
 
 // Name implements Layer.
@@ -98,6 +105,11 @@ type Dense struct {
 	W                   fixed.Vec // (out, in) row-major
 	B                   fixed.Vec
 	WFmt, InFmt, OutFmt fixed.Format
+
+	// Batched-path caches, as on Conv2D.
+	wGemm  []int16
+	bOut   fixed.Vec
+	bShape []int
 }
 
 // Name implements Layer.
@@ -142,6 +154,8 @@ func (r *ReLU) Forward(in QTensor) QTensor {
 type MaxPool struct {
 	LayerName string
 	K, Stride int
+
+	bShape []int // batched-path output-shape header
 }
 
 // Name implements Layer.
@@ -175,7 +189,11 @@ func (m *MaxPool) Forward(in QTensor) QTensor {
 }
 
 // Flatten reshapes without touching data.
-type Flatten struct{ LayerName string }
+type Flatten struct {
+	LayerName string
+
+	bShape []int // batched-path output-shape header
+}
 
 // Name implements Layer.
 func (f *Flatten) Name() string { return f.LayerName }
@@ -193,6 +211,9 @@ type Network struct {
 	Layers []Layer
 	// InFmt is the expected input activation format.
 	InFmt fixed.Format
+
+	// ws is the batched path's workspace (batch.go), built on first use.
+	ws *batchWorkspace
 }
 
 // Forward quantizes a float CHW image into the input format and runs the

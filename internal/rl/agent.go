@@ -72,6 +72,16 @@ type Options struct {
 	// learner server; remote actors stream replay over sockets and survive
 	// disconnects with local buffering and reconnect/backoff.
 	Remote int
+	// PrefixBackend names the compute backend the async pipeline's
+	// frozen-prefix server evaluates the shared feature extractor through
+	// ("quant" routes the fleet's boundary features through the batched
+	// 16-bit integer engine — one int16 GEMM per frozen layer per fleet
+	// tick, with the prefix weight stream amortized across the actors).
+	// Empty — the default — keeps the float prefix, bit-identical to the
+	// serial schedule. A non-float prefix trades that bit-identity for the
+	// deployed artifact's integer features: actors train against the
+	// activations the embedded accelerator would actually produce.
+	PrefixBackend string
 	// Seed fixes the agent's private RNG.
 	Seed int64
 

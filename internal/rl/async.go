@@ -2,6 +2,7 @@ package rl
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -227,6 +228,11 @@ func (l *OnlineLoop) runAsync(ctx context.Context, iters int) (OnlineStats, erro
 			return stats, err
 		}
 		srv = newPrefixServer(srvNet, boundary, n)
+		if a.opts.PrefixBackend != "" {
+			if err := srv.useBackend(a.opts.PrefixBackend, a.spec, a.cfg); err != nil {
+				return stats, err
+			}
+		}
 		go srv.run()
 	}
 
@@ -400,6 +406,32 @@ type prefixServer struct {
 	done     chan struct{}
 	alive    int
 	replies  []chan *tensor.Tensor
+
+	// batched, when set, evaluates the frozen prefix instead of the float
+	// ForwardBatchRange: a backend compiled over the prefix layers only
+	// (see useBackend). The quant engine here is the paper's deployment
+	// story applied to online learning — the fleet's shared feature
+	// extractor runs as one integer GEMM per layer per tick, streaming the
+	// MRAM-resident prefix weights once per fleet step.
+	batched nn.BatchInferrer
+}
+
+// useBackend compiles the server's frozen prefix into the named registry
+// backend and routes every flush through its batched-inference hook. The
+// prefix sub-network shares the server replica's layers, so the compiled
+// backend captures exactly the weights the float path would read.
+func (s *prefixServer) useBackend(name string, spec nn.ArchSpec, cfg nn.Config) error {
+	prefix := &nn.Network{Layers: s.net.Layers[:s.boundary]}
+	b, err := nn.NewBackendFor(name, prefix, spec, cfg)
+	if err != nil {
+		return fmt.Errorf("rl: building %q prefix backend: %w", name, err)
+	}
+	bi, ok := b.(nn.BatchInferrer)
+	if !ok {
+		return fmt.Errorf("rl: prefix backend %q has no batched inference path", name)
+	}
+	s.batched = bi
+	return nil
 }
 
 func newPrefixServer(net *nn.Network, boundary, actors int) *prefixServer {
@@ -462,9 +494,13 @@ func (s *prefixServer) flush(arena *tensor.Arena, pending []featReq) {
 	for i, r := range pending {
 		copy(batch.Data()[i*n:(i+1)*n], r.obs.Data())
 	}
-	out := s.net.ForwardBatchRange(0, s.boundary, batch)
-	f := out.Len() / b
-	od := out.Data()
+	var od []float32
+	if s.batched != nil {
+		od = s.batched.InferBatch(batch)
+	} else {
+		od = s.net.ForwardBatchRange(0, s.boundary, batch).Data()
+	}
+	f := len(od) / b
 	for i, r := range pending {
 		r.reply <- tensor.FromSlice(append([]float32(nil), od[i*f:(i+1)*f]...), f)
 	}

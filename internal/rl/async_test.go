@@ -379,3 +379,37 @@ func TestAdoptPolicyRebuildsEvalBackend(t *testing.T) {
 		}
 	}
 }
+
+// TestOnlineLoopQuantPrefix runs the fleet with the frozen prefix compiled
+// into the 16-bit integer engine: every boundary-feature flush is one int16
+// GEMM per prefix layer for all actors' observations. The loop must complete
+// and train normally on the quantized features (this path deliberately
+// trades bit-identity with the float prefix for the deployed-artifact
+// integer features, so only liveness and bookkeeping are pinned here; the
+// word-exact batched-vs-serial contract lives in qnn's own tests).
+func TestOnlineLoopQuantPrefix(t *testing.T) {
+	const iters, actors = 240, 4
+	spec := nn.NavNetSpec()
+	opts := asyncTestOpts(19, actors)
+	opts.PrefixBackend = "quant"
+	agent := NewAgent(spec, nn.L3, opts)
+	worlds := make([]*env.World, actors)
+	base := env.IndoorApartment(13)
+	for i := range worlds {
+		w := base.Clone()
+		w.Seed(53 + int64(i))
+		w.Spawn()
+		worlds[i] = w
+	}
+	loop := &OnlineLoop{Agent: agent, Worlds: worlds, Tracker: TrackerFor(iters)}
+	stats, err := loop.Run(context.Background(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EnvSteps != iters {
+		t.Errorf("env steps = %d, want %d", stats.EnvSteps, iters)
+	}
+	if stats.TrainSteps == 0 {
+		t.Error("quant-prefix run never trained")
+	}
+}

@@ -44,6 +44,18 @@ type DroneStats struct {
 // worlds concurrently. Both paths return bit-identical stats, pinned by
 // test under -race.
 func FlySwarm(net *nn.Network, base *env.World, n, steps int, seed int64, batched bool) []DroneStats {
+	return FlySwarmBackend(net, nil, base, n, steps, seed, batched)
+}
+
+// FlySwarmBackend is FlySwarm with the policy evaluated on a compiled
+// inference backend instead of the float network. A nil backend keeps the
+// float paths (and FlySwarm's bit-identity pin) untouched. With a backend
+// and batched=true the fleet's tick runs through the backend's batched entry
+// — for "quant" that is one int16 GEMM per layer across the whole swarm,
+// charging one MRAM weight stream per layer per tick instead of one per
+// drone; with batched=false each drone flies on per-sample backend.Infer,
+// the serial reference the backend's batched path is pinned against.
+func FlySwarmBackend(net *nn.Network, backend nn.Backend, base *env.World, n, steps int, seed int64, batched bool) []DroneStats {
 	if n < 1 {
 		panic("scen: swarm needs at least one drone")
 	}
@@ -63,17 +75,31 @@ func FlySwarm(net *nn.Network, base *env.World, n, steps int, seed int64, batche
 	}
 
 	if batched {
+		var bi nn.BatchInferrer
+		if backend != nil {
+			var ok bool
+			if bi, ok = backend.(nn.BatchInferrer); !ok {
+				panic(fmt.Sprintf("scen: backend %q has no batched inference path", backend.Name()))
+			}
+		}
 		row := obs[0].Len()
+		// One stack tensor for the whole mission: inference never retains
+		// the input, so the fleet's tick loop runs allocation-free on the
+		// GEMM side.
+		batch := tensor.New(n, 1, env.ImageSize, env.ImageSize)
 		for s := 0; s < steps; s++ {
 			// One batched GEMM per layer across the swarm...
-			batch := tensor.New(n, 1, env.ImageSize, env.ImageSize)
 			bd := batch.Data()
 			for i := range worlds {
 				copy(bd[i*row:(i+1)*row], obs[i].Data())
 			}
-			out := net.ForwardBatch(batch)
-			q := out.Data()
-			actions := out.Len() / n
+			var q []float32
+			if bi != nil {
+				q = bi.InferBatch(batch)
+			} else {
+				q = net.ForwardBatch(batch).Data()
+			}
+			actions := len(q) / n
 			// ...then every drone steps its own world concurrently; each
 			// goroutine touches only its own index's state.
 			var wg sync.WaitGroup
@@ -97,7 +123,12 @@ func FlySwarm(net *nn.Network, base *env.World, n, steps int, seed int64, batche
 		for i, w := range worlds {
 			o := obs[i]
 			for s := 0; s < steps; s++ {
-				a := net.Forward(o.Clone()).ArgMax()
+				var a int
+				if backend != nil {
+					a = argmaxRow(backend.Infer(o))
+				} else {
+					a = net.Forward(o.Clone()).ArgMax()
+				}
 				res := w.Step(env.Action(a))
 				rewardSum[i] += res.Reward
 				if res.Crashed {
@@ -136,6 +167,12 @@ func argmaxRow(row []float32) int {
 type SwarmReport struct {
 	Env    string
 	Config nn.Config
+	// Backend names the compiled inference engine the mission flew on
+	// ("" = float network), and Cost its accumulated modeled hardware
+	// tally: with the batched quant fleet, the energy reflects one MRAM
+	// weight stream per layer per tick, amortized across all drones.
+	Backend string
+	Cost    nn.BackendCost
 	// Drones holds each member's stats, index order.
 	Drones []DroneStats
 	// Aggregates over the fleet.
@@ -161,6 +198,11 @@ type SwarmExperiment struct {
 	Drones int
 	// Topology is the deployed agent's trainable region.
 	Topology nn.Config
+	// Backend, when set, names the registry backend the mission phase
+	// flies on ("quant", "systolic"); the lockstep fleet then runs its
+	// batched inference entry, so quant swarms get one integer GEMM per
+	// layer per tick. Empty keeps the float network (bit-identity pin).
+	Backend string
 	// Seed drives every stream.
 	Seed int64
 	// MetaIters, OnlineIters and MissionSteps are the phase budgets.
@@ -257,10 +299,21 @@ func (e *SwarmExperiment) onlineJob(rc *core.RunContext, _ int) error {
 }
 
 func (e *SwarmExperiment) swarmJob(rc *core.RunContext, _ int) error {
-	drones := FlySwarm(e.agent.Net, e.world, e.Drones, e.MissionSteps, e.Seed+5000, true)
+	var backend nn.Backend
+	if e.Backend != "" {
+		b, err := nn.NewBackendFor(e.Backend, e.agent.Net, nn.NavNetSpec(), e.Topology)
+		if err != nil {
+			return fmt.Errorf("scen: building swarm backend: %w", err)
+		}
+		backend = b
+	}
+	drones := FlySwarmBackend(e.agent.Net, backend, e.world, e.Drones, e.MissionSteps, e.Seed+5000, true)
 	rep := &SwarmReport{
 		Env: e.world.Name, Config: e.Topology,
-		Drones: drones, Training: e.training,
+		Backend: e.Backend, Drones: drones, Training: e.training,
+	}
+	if cr, ok := backend.(nn.CostReporter); ok {
+		rep.Cost = cr.Cost()
 	}
 	// Merge in index order, like the flight driver's per-run ledgers.
 	for _, d := range drones {

@@ -10,6 +10,10 @@ import (
 	"dronerl/internal/env"
 	"dronerl/internal/nn"
 	"dronerl/internal/rl"
+
+	// Linked for its backend registration: the quant-fleet tests resolve
+	// "quant" through the registry.
+	_ "dronerl/internal/qnn"
 )
 
 // swarmNet builds a small untrained policy net — greedy flight needs a
@@ -132,5 +136,76 @@ func TestNewSwarmExperimentValidates(t *testing.T) {
 	}
 	if _, err := NewSwarmExperiment("indoor-apartment", 2, nn.L3, 1, 10, 0, 10); err == nil {
 		t.Error("zero online budget accepted")
+	}
+}
+
+// TestFlySwarmQuantBackendBitIdentical: a quant fleet flown batched (one
+// int16 GEMM per layer per tick across all drones) must produce exactly the
+// stats of the same backend flown per-drone per-sample — the batched kernel
+// is a scheduling decision, never a numeric one — while streaming the MRAM
+// weights once per tick instead of once per drone.
+func TestFlySwarmQuantBackendBitIdentical(t *testing.T) {
+	net := swarmNet(t)
+	base, err := Generate(GenSpec{Kind: Indoor, Corridor: 1.0, Density: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const drones, steps = 4, 120
+	mkBackend := func() nn.Backend {
+		b, err := nn.NewBackendFor("quant", net, nn.NavNetSpec(), nn.L3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serialB := mkBackend()
+	serial := FlySwarmBackend(net, serialB, base, drones, steps, 9, false)
+	batchedB := mkBackend()
+	batched := FlySwarmBackend(net, batchedB, base, drones, steps, 9, true)
+	if !reflect.DeepEqual(serial, batched) {
+		t.Fatalf("serial and batched quant swarm flights diverge:\nserial:  %+v\nbatched: %+v",
+			serial, batched)
+	}
+	sc, ok := serialB.(nn.CostReporter)
+	if !ok {
+		t.Fatal("quant backend reports no cost")
+	}
+	bc := batchedB.(nn.CostReporter)
+	if sc.Cost().Inferences != bc.Cost().Inferences {
+		t.Fatalf("inference counts diverge: serial %d, batched %d",
+			sc.Cost().Inferences, bc.Cost().Inferences)
+	}
+	// drones× fewer weight streams: one per tick instead of one per drone
+	// per tick (up to float summation order in the running tally).
+	se, be := sc.Cost().EnergyMJ, bc.Cost().EnergyMJ
+	if ratio := be * float64(drones) / se; ratio < 1-1e-9 || ratio > 1+1e-9 {
+		t.Errorf("batched fleet energy %v mJ, want serial %v / %d drones", be, se, drones)
+	}
+}
+
+// TestSwarmExperimentQuantBackend: the Backend knob threads the compiled
+// quant engine through the mission phase and the report carries its name
+// and amortized cost tally.
+func TestSwarmExperimentQuantBackend(t *testing.T) {
+	e, err := NewSwarmExperiment("gen-indoor-sparse", 3, nn.L3, 21, 40, 40, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Backend = "quant"
+	if err := core.Run(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	if rep == nil {
+		t.Fatal("no report after run")
+	}
+	if rep.Backend != "quant" {
+		t.Errorf("report backend %q, want quant", rep.Backend)
+	}
+	if rep.Cost.Inferences != int64(3*30) {
+		t.Errorf("backend charged %d inferences, want %d", rep.Cost.Inferences, 3*30)
+	}
+	if rep.Cost.EnergyMJ <= 0 {
+		t.Errorf("backend energy %v mJ, want > 0", rep.Cost.EnergyMJ)
 	}
 }

@@ -128,6 +128,13 @@ func TestBatchingDeterminism(t *testing.T) {
 	if st.Served != burst {
 		t.Errorf("served %d, want %d", st.Served, burst)
 	}
+	if st.BatchSource != "float/InferBatch" {
+		t.Errorf("batch source %q, want float/InferBatch", st.BatchSource)
+	}
+	if st.BatchedBatches != 1 || st.SerialBatches != 0 {
+		t.Errorf("kernel attribution batched=%d serial=%d, want the burst on the batched kernel",
+			st.BatchedBatches, st.SerialBatches)
+	}
 }
 
 // TestBackpressure fills the bounded queue and checks the next request is
@@ -249,6 +256,15 @@ func TestQuantBackendServes(t *testing.T) {
 	}
 	if len(st.Devices) == 0 || st.TotalEnergyMJ <= 0 {
 		t.Errorf("device ledger empty: %+v", st.Devices)
+	}
+	if st.BatchSource != "quant/InferBatch" {
+		t.Errorf("batch source %q, want quant/InferBatch", st.BatchSource)
+	}
+	// Closed-loop single client: every batch was size 1, so the per-sample
+	// path served them all and the attribution says so.
+	if st.BatchedBatches != 0 || st.SerialBatches != st.Batches {
+		t.Errorf("kernel attribution batched=%d serial=%d of %d batches, want all serial",
+			st.BatchedBatches, st.SerialBatches, st.Batches)
 	}
 }
 

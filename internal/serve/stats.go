@@ -23,10 +23,16 @@ type stats struct {
 	adoptFails int64
 	batches    int64
 	hist       []int64 // hist[b-1] = batches of size b
-	cost       nn.BackendCost
-	lat        []time.Duration // ring buffer of recent request latencies
-	latNext    int
-	latFull    bool
+	// kernelBatches counts batches executed through the backend's batched
+	// kernel (one GEMM per layer for the whole batch); serialBatches those
+	// that ran per-sample Infer (size-1 batches, or a backend without a
+	// batched entry). Together they attribute the histogram to a kernel.
+	kernelBatches int64
+	serialBatches int64
+	cost          nn.BackendCost
+	lat           []time.Duration // ring buffer of recent request latencies
+	latNext       int
+	latFull       bool
 }
 
 func newStats(maxBatch int) *stats {
@@ -69,13 +75,19 @@ func (st *stats) adoptFailed() {
 	st.mu.Unlock()
 }
 
-// batchDone records one executed batch and the backend cost it charged.
-func (st *stats) batchDone(size int, delta nn.BackendCost) {
+// batchDone records one executed batch, which kernel ran it, and the backend
+// cost it charged.
+func (st *stats) batchDone(size int, batchedKernel bool, delta nn.BackendCost) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.batches++
 	if size >= 1 && size <= len(st.hist) {
 		st.hist[size-1]++
+	}
+	if batchedKernel {
+		st.kernelBatches++
+	} else {
+		st.serialBatches++
 	}
 	st.cost.Add(delta)
 }
@@ -105,8 +117,16 @@ type Stats struct {
 	MeanBatch     float64 `json:"mean_batch"`
 	// BatchHist maps batch size → count, sizes with zero count omitted.
 	BatchHist map[int]int64 `json:"batch_hist"`
-	P50Ms     float64       `json:"p50_ms"`
-	P99Ms     float64       `json:"p99_ms"`
+	// BatchSource names which kernel serves coalesced batches
+	// ("quant/InferBatch" when the backend has a batched entry,
+	// "float/Infer" when every request runs per-sample), and the two
+	// counters split the histogram between them — the gate log's answer to
+	// "did the burst actually hit the batched kernel?".
+	BatchSource    string  `json:"batch_source"`
+	BatchedBatches int64   `json:"batched_batches"`
+	SerialBatches  int64   `json:"serial_batches"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
 	// Backend-modeled inference cost (zero for the float backend).
 	Inferences       int64   `json:"inferences"`
 	ModeledEnergyMJ  float64 `json:"modeled_energy_mj"`
@@ -142,6 +162,9 @@ func (s *Server) Stats() Stats {
 		QueueCap:         s.cfg.QueueDepth,
 		Batches:          st.batches,
 		BatchHist:        map[int]int64{},
+		BatchSource:      s.batchSource(),
+		BatchedBatches:   st.kernelBatches,
+		SerialBatches:    st.serialBatches,
 		Inferences:       st.cost.Inferences,
 		ModeledEnergyMJ:  st.cost.EnergyMJ,
 		ModeledLatencyMS: st.cost.LatencyMS,

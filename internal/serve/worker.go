@@ -27,8 +27,14 @@ type worker struct {
 	version uint64
 
 	batch []*request
-	in    []float32 // stacked observations, MaxBatch*obsLen
 	out   []float32 // copied Q-rows, MaxBatch*actions
+
+	// arena backs the batch staging tensors: slot b-1 keeps a cached
+	// (b, C, H, W) stack per batch size and slot MaxBatch the single-sample
+	// (C, H, W) view, so the steady-state serve path allocates nothing no
+	// matter how batch sizes vary under load (pinned by
+	// TestWorkerStackZeroAlloc and BenchmarkServeWorkerRun).
+	arena tensor.Arena
 }
 
 // newWorker builds the replica network, adopts the already-published initial
@@ -47,9 +53,22 @@ func newWorker(s *Server, id int) (*worker, error) {
 		return nil, fmt.Errorf("serve: worker %d building %q backend: %w", id, s.cfg.Backend, err)
 	}
 	w.batch = make([]*request, 0, s.cfg.MaxBatch)
-	w.in = make([]float32, s.cfg.MaxBatch*s.obsLen)
 	w.out = make([]float32, s.cfg.MaxBatch*s.actions)
 	return w, nil
+}
+
+// stack returns the worker's reusable (b, C, H, W) staging tensor with the
+// collected batch's observations copied in. Inference never retains its
+// input, so the tensor is safely overwritten by the next batch of size b.
+func (w *worker) stack(b int) *tensor.Tensor {
+	sp := w.s.spec
+	t := w.arena.Get(b-1, b, sp.InputC, sp.InputH, sp.InputW)
+	d := t.Data()
+	n := w.s.obsLen
+	for i, r := range w.batch[:b] {
+		copy(d[i*n:(i+1)*n], r.obs)
+	}
+	return t
 }
 
 // loop serves until the quit channel closes, then drains whatever is still
@@ -143,17 +162,15 @@ func (w *worker) run() {
 	}
 	before := backendCost(w.backend)
 	out := w.out[:b*w.s.actions]
+	batchedKernel := false
 	if bi, ok := w.backend.(nn.BatchInferrer); ok && b > 1 {
-		n := w.s.obsLen
-		in := w.in[:b*n]
-		for i, r := range w.batch {
-			copy(in[i*n:(i+1)*n], r.obs)
-		}
-		stacked := tensor.FromSlice(in, b, w.s.spec.InputC, w.s.spec.InputH, w.s.spec.InputW)
-		copy(out, bi.InferBatch(stacked))
+		batchedKernel = true
+		copy(out, bi.InferBatch(w.stack(b)))
 	} else {
+		sp := w.s.spec
 		for i, r := range w.batch {
-			obs := tensor.FromSlice(r.obs, w.s.spec.InputC, w.s.spec.InputH, w.s.spec.InputW)
+			obs := w.arena.Get(w.s.cfg.MaxBatch, sp.InputC, sp.InputH, sp.InputW)
+			copy(obs.Data(), r.obs)
 			copy(out[i*w.s.actions:(i+1)*w.s.actions], w.backend.Infer(obs))
 		}
 	}
@@ -175,7 +192,7 @@ func (w *worker) run() {
 		}}
 		w.batch[i] = nil // let the request go as soon as it is answered
 	}
-	w.s.stats.batchDone(b, delta)
+	w.s.stats.batchDone(b, batchedKernel, delta)
 }
 
 // mergeLedgerLocked folds the outgoing backend's device traffic into the
@@ -195,6 +212,21 @@ func (w *worker) mergeLedger(dst *mem.EnergyLedger) {
 	if lr, ok := w.backend.(interface{ Ledger() *mem.EnergyLedger }); ok {
 		dst.Merge(lr.Ledger())
 	}
+}
+
+// batchSource names the kernel that executes coalesced batches on this
+// server's backend, for the /statsz payload.
+func (s *Server) batchSource() string {
+	if len(s.workers) > 0 {
+		w := s.workers[0]
+		w.mu.Lock()
+		_, batched := w.backend.(nn.BatchInferrer)
+		w.mu.Unlock()
+		if batched {
+			return s.cfg.Backend + "/InferBatch"
+		}
+	}
+	return s.cfg.Backend + "/Infer"
 }
 
 // backendCost reads the optional cost tally of a backend.

@@ -26,6 +26,13 @@ type CycleStats struct {
 	MACs int64
 	// ActivePEs is the number of PEs that were ever busy.
 	ActivePEs int
+	// FillDrainCycles is the share of Cycles spent on the wavefront skew
+	// into the array and the partial-sum drain out of it rather than on MAC
+	// issue. When consecutive samples stream through the same resident tiles
+	// (batched inference), every sample after the first overlaps its fill
+	// with the previous sample's drain, so this is the per-sample saving a
+	// pipelined batch amortizes.
+	FillDrainCycles int64
 }
 
 // Utilization returns busy-PE-cycles / (activePEs x cycles), the duty
@@ -109,6 +116,7 @@ func (a *Array) SimulateFC(out, in int) CycleStats {
 			// Column drain of partial sums to the accumulation row.
 			passCycles += int64(activeRows - 1)
 			stats.Cycles += passCycles
+			stats.FillDrainCycles += int64(activeCols-1) + int64(activeRows-1)
 
 			for r := 0; r < activeRows; r++ {
 				iBase := rt*cfg.Rows*blockIn + r*blockIn

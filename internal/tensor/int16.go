@@ -56,18 +56,21 @@ func MatVec16(dst []int32, w, x []int16) {
 // flops threshold as the float GEMMs; per-element results are identical
 // either way.
 func MatMul16T(dst []int32, a, bT []int16, m, k, n int) {
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			drow := dst[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				drow[j] = Dot16(arow, bT[j*k:(j+1)*k])
-			}
-		}
-	}
+	// Branch before constructing the parallel closure (the serialRows
+	// contract): the serial schedule must allocate nothing.
 	if serialRows(m, m*n*k) {
-		body(0, m)
+		mul16TRows(dst, a, bT, k, n, 0, m)
 		return
 	}
-	parallelRows(m, body)
+	parallelRows(m, func(lo, hi int) { mul16TRows(dst, a, bT, k, n, lo, hi) })
+}
+
+func mul16TRows(dst []int32, a, bT []int16, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			drow[j] = Dot16(arow, bT[j*k:(j+1)*k])
+		}
+	}
 }
